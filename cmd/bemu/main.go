@@ -1,0 +1,93 @@
+// Command bemu is the behavioral-emulation design-space-exploration tool
+// the mini-app exists to enable (paper Section III.C: "evaluate a series
+// of candidate exascale architectures"). It runs the same CMT-bone
+// workload under every combination of processor model (internal/hw) and
+// network model (internal/netmodel) and tabulates the modeled makespan,
+// compute/communication split, and the gather-scatter method each
+// machine's tuner picks — the co-design signals a system architect reads
+// off a mini-app.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/comm"
+	"repro/internal/gs"
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bemu: ")
+
+	np := flag.Int("np", 16, "number of ranks")
+	n := flag.Int("n", 8, "GLL points per direction per element")
+	local := flag.Int("local", 2, "elements per rank per direction")
+	steps := flag.Int("steps", 2, "timesteps")
+	calibrate := flag.Bool("calibrate", false, "also sweep a network model calibrated to this host's transport")
+	flag.Parse()
+
+	machines := []hw.Machine{hw.Opteron6378, hw.I52500, hw.Generic}
+	networks := []netmodel.Model{netmodel.QDR, netmodel.GigE, netmodel.Exascale}
+	if *calibrate {
+		host, err := comm.CalibrateModel("this-host", nil, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calibrated host transport: %s (alpha=%.2es, beta=%.2es/B)\n\n",
+			host.Name, host.Alpha, host.Beta)
+		networks = append(networks, host)
+	}
+
+	fmt.Printf("CMT-bone behavioral emulation: %d ranks, N=%d, %d elems/rank, %d steps\n\n",
+		*np, *n, (*local)*(*local)*(*local), *steps)
+	fmt.Printf("%-14s %-18s %14s %10s %10s  %-18s\n",
+		"processor", "network", "makespan (s)", "comm %", "speedup", "tuned gs method")
+
+	baseline := -1.0
+	for _, machine := range machines {
+		for _, network := range networks {
+			cfg := solver.DefaultConfig(*np, *n, *local)
+			cfg.Machine = machine
+			cfg.AutoTune = true
+			cfg.TuneTrials = 1
+
+			var method gs.Method
+			stats, err := comm.Run(*np, cfg.CommOptions(network), func(r *comm.Rank) error {
+				s, err := solver.New(r, cfg)
+				if err != nil {
+					return err
+				}
+				s.SetInitial(solver.GaussianPulse(
+					float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+					0.1, 0.5))
+				s.Run(*steps)
+				if r.ID() == 0 {
+					method = s.GS().Method()
+				}
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			makespan := stats.MaxVirtualTime()
+			if baseline < 0 {
+				baseline = makespan
+			}
+			commFrac := 0.0
+			for _, f := range stats.RankMPIFractions() {
+				commFrac += f.FracModeled()
+			}
+			commFrac /= float64(*np)
+			fmt.Printf("%-14s %-18s %14.6f %9.2f%% %9.2fx  %-18s\n",
+				machine.Name, network.Name, makespan, 100*commFrac, baseline/makespan, method)
+		}
+	}
+	fmt.Println("\nspeedup is relative to the first (opteron-6378 / qdr) configuration;")
+	fmt.Println("a rising comm % flags configurations where the network, not the core,")
+	fmt.Println("bounds CMT-bone — the co-design conclusion the mini-app is built to expose.")
+}

@@ -1,0 +1,153 @@
+// Command cmtbone is the CMT-bone mini-app driver: it runs the
+// discontinuous Galerkin spectral-element solver on an in-process
+// communicator of -np ranks and reports the run summary, optionally with
+// the execution and MPI profiles.
+//
+// Example (the paper's Figure 7 problem setup):
+//
+//	cmtbone -np 256 -n 10 -grid 8x8x4 -elems 40x40x16 -steps 1 -autotune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cli"
+	"repro/internal/comm"
+	"repro/internal/diag"
+	"repro/internal/gs"
+	"repro/internal/netmodel"
+	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmtbone: ")
+
+	np := flag.Int("np", 8, "number of ranks")
+	n := flag.Int("n", 8, "GLL points per direction per element (N)")
+	local := flag.Int("local", 2, "elements per rank per direction (ignored with -grid/-elems)")
+	gridStr := flag.String("grid", "", "processor grid AxBxC (default: near-cubic factorization of -np)")
+	elemsStr := flag.String("elems", "", "global element grid AxBxC (default: grid * local)")
+	steps := flag.Int("steps", 5, "timesteps")
+	gsName := flag.String("gs", "pairwise", "gather-scatter method: pairwise, crystal, allreduce")
+	autotune := flag.Bool("autotune", false, "autotune the gather-scatter method at startup")
+	dealias := flag.Bool("dealias", false, "enable the dealiasing fine-mesh round trip")
+	mu := flag.Float64("mu", 0, "dynamic viscosity; > 0 enables the Navier-Stokes viscous flux path")
+	filterCutoff := flag.Int("filter", 0, "modal spectral filter cutoff (shock-capture proxy; 0 disables)")
+	variant := flag.String("variant", "optimized", "derivative kernel variant: optimized or basic")
+	netName := flag.String("net", netmodel.QDR.Name, "network model: "+strings.Join(netmodel.Names(), ", "))
+	showProfile := flag.Bool("profile", false, "print the execution (gprof-style) profile")
+	showMPI := flag.Bool("mpiprofile", false, "print the MPI (mpiP-style) profiles")
+	showDiag := flag.Bool("diag", false, "print flow diagnostics and the density modal spectrum")
+	ckptDir := flag.String("ckpt", "", "write a per-rank checkpoint of the final state into this directory")
+	flag.Parse()
+
+	cfg := solver.DefaultConfig(*np, *n, *local)
+	if *gridStr != "" {
+		g, err := cli.ParseTriple(*gridStr)
+		if err != nil {
+			log.Fatalf("-grid: %v", err)
+		}
+		cfg.ProcGrid = g
+		cfg.ElemGrid = [3]int{g[0] * *local, g[1] * *local, g[2] * *local}
+	}
+	if *elemsStr != "" {
+		e, err := cli.ParseTriple(*elemsStr)
+		if err != nil {
+			log.Fatalf("-elems: %v", err)
+		}
+		cfg.ElemGrid = e
+	}
+	v, err := cli.ParseVariant(*variant)
+	if err != nil {
+		log.Fatalf("-variant: %v", err)
+	}
+	cfg.Variant = v
+	m, err := gs.ParseMethod(*gsName)
+	if err != nil {
+		log.Fatalf("-gs: %v", err)
+	}
+	cfg.GSMethod = m
+	cfg.AutoTune = *autotune
+	cfg.Dealias = *dealias
+	cfg.Mu = *mu
+	cfg.FilterCutoff = *filterCutoff
+
+	model, err := netmodel.ByName(*netName)
+	if err != nil {
+		log.Fatalf("-net: %v", err)
+	}
+
+	fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
+		*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
+		cfg.ElemGrid[0]*cfg.ElemGrid[1]*cfg.ElemGrid[2] / *np, cfg.N, *steps, *gsName, model.Name)
+
+	reports := make([]solver.Report, *np)
+	profs := make([]*prof.Profiler, *np)
+	methods := make([]gs.Method, *np)
+	var flowDiag diag.Summary
+	var spectrum diag.Spectrum
+	stats, err := comm.Run(*np, cfg.CommOptions(model), func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(
+			float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+			0.1, float64(cfg.ElemGrid[0])/8+0.25))
+		reports[r.ID()] = s.Run(*steps)
+		profs[r.ID()] = s.Prof
+		methods[r.ID()] = s.GS().Method()
+		if *showDiag {
+			d := diag.Compute(s)
+			sp := diag.ModalSpectrum(s, solver.IRho)
+			if r.ID() == 0 {
+				flowDiag, spectrum = d, sp
+			}
+		}
+		if *ckptDir != "" {
+			if err := checkpoint.WriteFile(*ckptDir, "final", s, int64(*steps), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := reports[0]
+	fmt.Printf("done: steps=%d dt=%.3e mass=%.12f energy=%.9f lambda=%.6f\n",
+		rep.Steps, rep.Dt, rep.Mass, rep.Energy, rep.WaveSpeed)
+	fmt.Printf("gather-scatter method in use: %s\n", methods[0])
+	fmt.Printf("wall time: %.3fs   modeled makespan: %.6fs   flops/rank: %.3g\n",
+		stats.Wall, stats.MaxVirtualTime(), float64(rep.Ops.Flops()))
+	if *ckptDir != "" {
+		fmt.Printf("checkpoint written to %s\n", checkpoint.FilePath(*ckptDir, "final", 0))
+	}
+
+	if *showDiag {
+		fmt.Printf("diagnostics: %s\n", flowDiag)
+		fmt.Printf("density modal spectrum (decay ratio %.2e):\n%s", spectrum.DecayRatio(), spectrum.Format())
+	}
+	if *showProfile {
+		fmt.Println()
+		fmt.Print(report.Fig4ExecutionProfile(profs, stats))
+	}
+	if *showMPI {
+		fmt.Println()
+		fmt.Print(report.Fig8MPIFractions(stats.RankMPIFractions(), true))
+		fmt.Println()
+		fmt.Print(report.Fig9TopMPICalls(stats.AggregateSites(), 20, stats.TotalAppWall()))
+		fmt.Println()
+		fmt.Print(report.Fig10MessageSizes(stats.AggregateSites(), 12))
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,154 @@
+// Command scalebench runs weak- and strong-scaling studies of CMT-bone
+// under a network model and prints the results as a table (optionally
+// CSV), the scaling data a co-design study starts from.
+//
+// Weak scaling holds the per-rank problem fixed while ranks grow; strong
+// scaling holds the global problem fixed and divides it across ranks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+	"repro/internal/solver"
+)
+
+type row struct {
+	mode     string
+	ranks    int
+	elems    int // per rank
+	makespan float64
+	mpiFrac  float64
+	bytes    int64 // per rank
+	flops    int64 // per rank
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scalebench: ")
+
+	n := flag.Int("n", 6, "GLL points per direction per element")
+	steps := flag.Int("steps", 2, "timesteps per measurement")
+	netName := flag.String("net", netmodel.QDR.Name, "network model: "+strings.Join(netmodel.Names(), ", "))
+	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	maxRanks := flag.Int("maxranks", 64, "largest rank count (rank counts are cubes up to this)")
+	flag.Parse()
+
+	model, err := netmodel.ByName(*netName)
+	if err != nil {
+		log.Fatalf("-net: %v", err)
+	}
+
+	var counts []int
+	for c := 1; c*c*c <= *maxRanks; c++ {
+		counts = append(counts, c*c*c)
+	}
+
+	var rows []row
+	// Weak scaling: 2x2x2 elements per rank at every size.
+	for _, p := range counts {
+		rows = append(rows, measure(t{"weak", p, *n, 2, [3]int{}, *steps}, model))
+	}
+	// Strong scaling: a fixed global mesh sized for the largest count.
+	big := counts[len(counts)-1]
+	bigGrid := comm.FactorGrid(big)
+	global := [3]int{bigGrid[0] * 2, bigGrid[1] * 2, bigGrid[2] * 2}
+	for _, p := range counts {
+		pg := comm.FactorGrid(p)
+		ok := true
+		for d := 0; d < 3; d++ {
+			if global[d]%pg[d] != 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		rows = append(rows, measure(t{"strong", p, *n, 0, global, *steps}, model))
+	}
+
+	fmt.Printf("CMT-bone scaling study: N=%d, %d steps, network %s\n\n", *n, *steps, model.Name)
+	fmt.Printf("%-8s %7s %11s %15s %9s %13s %13s\n",
+		"mode", "ranks", "elems/rank", "makespan (s)", "MPI %", "bytes/rank", "flops/rank")
+	for _, r := range rows {
+		fmt.Printf("%-8s %7d %11d %15.6f %8.2f%% %13d %13d\n",
+			r.mode, r.ranks, r.elems, r.makespan, 100*r.mpiFrac, r.bytes, r.flops)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "mode,ranks,elems_per_rank,makespan_s,mpi_frac,bytes_per_rank,flops_per_rank")
+		for _, r := range rows {
+			fmt.Fprintf(f, "%s,%d,%d,%.9f,%.6f,%d,%d\n",
+				r.mode, r.ranks, r.elems, r.makespan, r.mpiFrac, r.bytes, r.flops)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+type t struct {
+	mode   string
+	ranks  int
+	n      int
+	local  int    // weak: elements per rank per direction
+	global [3]int // strong: global element grid
+	steps  int
+}
+
+func measure(cfg t, model netmodel.Model) row {
+	sc := solver.DefaultConfig(cfg.ranks, cfg.n, max(cfg.local, 1))
+	if cfg.mode == "strong" {
+		sc.ElemGrid = cfg.global
+	}
+	var flops int64
+	stats, err := comm.Run(cfg.ranks, sc.CommOptions(model), func(r *comm.Rank) error {
+		s, err := solver.New(r, sc)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(
+			float64(sc.ElemGrid[0])/2, float64(sc.ElemGrid[1])/2, float64(sc.ElemGrid[2])/2,
+			0.1, 0.5))
+		rep := s.Run(cfg.steps)
+		if r.ID() == 0 {
+			flops = rep.Ops.Flops()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("%s/%d ranks: %v", cfg.mode, cfg.ranks, err)
+	}
+	mpi := 0.0
+	for _, f := range stats.RankMPIFractions() {
+		mpi += f.FracModeled()
+	}
+	mpi /= float64(cfg.ranks)
+	var bytes int64
+	for _, site := range stats.AggregateSites() {
+		bytes += site.Bytes
+	}
+	bytes /= int64(cfg.ranks)
+	box, _ := sc.Mesh()
+	return row{
+		mode: cfg.mode, ranks: cfg.ranks, elems: box.LocalElems(),
+		makespan: stats.MaxVirtualTime(), mpiFrac: mpi, bytes: bytes, flops: flops,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

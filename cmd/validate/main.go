@@ -1,0 +1,340 @@
+// Command validate runs the mini-app's physics and bookkeeping
+// verification battery end-to-end and prints PASS/FAIL per check — the
+// quick acceptance run for a new machine or a modified kernel. It covers
+// the invariants the test suite asserts, at slightly larger sizes:
+//
+//   - uniform flow is an exact steady state (free-stream preservation)
+//   - mass/momentum conservation on a periodic box
+//   - parallel runs match serial runs
+//   - viscous shear-wave decay matches the analytic rate
+//   - gather-scatter methods agree with each other
+//   - checkpoint resume is bit-identical
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/gs"
+	"repro/internal/solver"
+)
+
+type check struct {
+	name string
+	run  func() error
+}
+
+func main() {
+	log.SetFlags(0)
+	verbose := flag.Bool("v", false, "print details for passing checks too")
+	flag.Parse()
+
+	checks := []check{
+		{"free-stream preservation", checkFreeStream},
+		{"conservation on periodic box", checkConservation},
+		{"parallel == serial", checkParallelSerial},
+		{"viscous shear-wave decay rate", checkShearDecay},
+		{"gather-scatter method agreement", checkGSAgreement},
+		{"checkpoint resume determinism", checkResume},
+	}
+	failed := 0
+	for _, c := range checks {
+		err := c.run()
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL  %-34s %v\n", c.name, err)
+		} else {
+			fmt.Printf("PASS  %-34s\n", c.name)
+			if *verbose {
+				fmt.Printf("      ok\n")
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d checks passed\n", len(checks))
+}
+
+func checkFreeStream() error {
+	var worst float64
+	_, err := comm.RunSimple(4, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(4, 7, 2)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		want := solver.UniformState(1.2, 0.3, -0.1, 0.2, 0.9)
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 { return want })
+		s.Run(5)
+		for c := 0; c < solver.NumFields; c++ {
+			for _, v := range s.U[c] {
+				if d := math.Abs(v - want[c]); d > worst {
+					worst = d
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if worst > 1e-10 {
+		return fmt.Errorf("drift %g", worst)
+	}
+	return nil
+}
+
+func checkConservation() error {
+	var drift float64
+	_, err := comm.RunSimple(8, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(8, 6, 2)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(2, 2, 2, 0.2, 0.5))
+		before := s.TotalMass()
+		rep := s.Run(10)
+		if r.ID() == 0 {
+			drift = math.Abs(rep.Mass-before) / math.Abs(before)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if drift > 1e-10 {
+		return fmt.Errorf("relative mass drift %g", drift)
+	}
+	return nil
+}
+
+func checkParallelSerial() error {
+	// Gather the density field keyed by global element id and compare
+	// the 1-rank and 8-rank runs of the same global problem.
+	run := func(p int, grid [3]int) (map[int64][]float64, error) {
+		result := map[int64][]float64{}
+		_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+			cfg := solver.Config{
+				N: 5, ProcGrid: grid, ElemGrid: [3]int{2, 2, 2},
+				Periodic: [3]bool{true, true, true}, CFL: 0.25,
+			}
+			s, err := solver.New(r, cfg)
+			if err != nil {
+				return err
+			}
+			s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+			s.Run(4)
+			n3 := cfg.N * cfg.N * cfg.N
+			if r.ID() != 0 {
+				for e := 0; e < s.Local.Nel; e++ {
+					g := s.Local.GlobalElemCoords(e)
+					payload := append([]float64{float64(s.Local.Box.GlobalElemID(g))},
+						s.U[solver.IRho][e*n3:(e+1)*n3]...)
+					r.Send(0, 901, payload)
+				}
+				return nil
+			}
+			for e := 0; e < s.Local.Nel; e++ {
+				g := s.Local.GlobalElemCoords(e)
+				result[s.Local.Box.GlobalElemID(g)] = append([]float64(nil), s.U[solver.IRho][e*n3:(e+1)*n3]...)
+			}
+			for len(result) < s.Local.Box.TotalElems() {
+				data := r.Recv(comm.AnySource, 901)
+				result[int64(data[0])] = data[1:]
+			}
+			return nil
+		})
+		return result, err
+	}
+	serial, err := run(1, [3]int{1, 1, 1})
+	if err != nil {
+		return err
+	}
+	parallel, err := run(8, [3]int{2, 2, 2})
+	if err != nil {
+		return err
+	}
+	if len(serial) != len(parallel) {
+		return fmt.Errorf("element counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for id, sv := range serial {
+		pv := parallel[id]
+		for i := range sv {
+			if math.Abs(sv[i]-pv[i]) > 1e-9*(1+math.Abs(sv[i])) {
+				return fmt.Errorf("element %d point %d: serial %g vs parallel %g", id, i, sv[i], pv[i])
+			}
+		}
+	}
+	return nil
+}
+
+func checkShearDecay() error {
+	const mu = 0.02
+	k := math.Pi
+	want := mu * k * k
+	run := func(m float64) (float64, error) {
+		var rate float64
+		_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+			cfg := solver.DefaultConfig(1, 8, 2)
+			cfg.Mu = m
+			cfg.CFL = 0.25
+			s, err := solver.New(r, cfg)
+			if err != nil {
+				return err
+			}
+			amp := 0.01
+			s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+				return solver.UniformState(1, 0, amp*math.Sin(k*x), 0, 1/solver.Gamma)
+			})
+			norm := func() float64 {
+				n := cfg.N
+				n3 := n * n * n
+				local := 0.0
+				for e := 0; e < s.Local.Nel; e++ {
+					for kk := 0; kk < n; kk++ {
+						for j := 0; j < n; j++ {
+							for i := 0; i < n; i++ {
+								w := s.Ref.W[i] * s.Ref.W[j] * s.Ref.W[kk] / 8
+								v := s.U[solver.IMomY][e*n3+i+n*j+n*n*kk]
+								local += w * v * v
+							}
+						}
+					}
+				}
+				return math.Sqrt(local)
+			}
+			e0 := norm()
+			elapsed := 0.0
+			for elapsed < 0.5 {
+				dt := s.StableDt()
+				s.Step(dt)
+				elapsed += dt
+			}
+			rate = math.Log(e0/norm()) / elapsed
+			return nil
+		})
+		return rate, err
+	}
+	base, err := run(0)
+	if err != nil {
+		return err
+	}
+	visc, err := run(mu)
+	if err != nil {
+		return err
+	}
+	got := visc - base
+	if math.Abs(got-want) > 0.15*want {
+		return fmt.Errorf("decay rate %g, want %g +-15%%", got, want)
+	}
+	return nil
+}
+
+func checkGSAgreement() error {
+	run := func(m gs.Method) (float64, error) {
+		var digest float64
+		_, err := comm.RunSimple(4, func(r *comm.Rank) error {
+			cfg := solver.DefaultConfig(4, 5, 1)
+			cfg.GSMethod = m
+			s, err := solver.New(r, cfg)
+			if err != nil {
+				return err
+			}
+			s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+			rep := s.Run(3)
+			if r.ID() == 0 {
+				digest = rep.Energy
+			}
+			return nil
+		})
+		return digest, err
+	}
+	ref, err := run(gs.Pairwise)
+	if err != nil {
+		return err
+	}
+	for _, m := range []gs.Method{gs.CrystalRouter, gs.AllReduce} {
+		got, err := run(m)
+		if err != nil {
+			return err
+		}
+		if math.Abs(got-ref) > 1e-10*(1+math.Abs(ref)) {
+			return fmt.Errorf("%v energy digest %g differs from pairwise %g", m, got, ref)
+		}
+	}
+	return nil
+}
+
+func checkResume() error {
+	cfg := solver.DefaultConfig(2, 5, 2)
+	ic := solver.GaussianPulse(1, 1, 1, 0.1, 0.5)
+	direct := make([][]float64, 2)
+	_, err := comm.RunSimple(2, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(ic)
+		s.Run(6)
+		direct[r.ID()] = append([]float64(nil), s.U[solver.IEnergy]...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	snaps := make([]*checkpoint.Snapshot, 2)
+	_, err = comm.RunSimple(2, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(ic)
+		s.Run(3)
+		var buf bytes.Buffer
+		if err := checkpoint.Write(&buf, s, 3, 0); err != nil {
+			return err
+		}
+		snap, err := checkpoint.Read(&buf)
+		if err != nil {
+			return err
+		}
+		snaps[r.ID()] = snap
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var worst float64
+	_, err = comm.RunSimple(2, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		if _, _, err := checkpoint.Restore(s, snaps[r.ID()]); err != nil {
+			return err
+		}
+		s.Run(3)
+		for i, v := range s.U[solver.IEnergy] {
+			if d := math.Abs(v - direct[r.ID()][i]); d > worst {
+				worst = d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if worst != 0 {
+		return fmt.Errorf("resume differs by %g", worst)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package checkpoint provides restart files for the mini-app: each rank
+// serializes its conserved-variable fields plus enough metadata to
+// validate a resume. Production Nek-family codes lean on restart files
+// for long campaigns; the mini-app carries the same capability so
+// checkpoint I/O cost can be included in performance studies.
+//
+// The format is a fixed little-endian binary layout (stdlib
+// encoding/binary): a magic/version header, the mesh shape, the step
+// counter and simulation time, then the five field arrays.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/solver"
+)
+
+// Magic identifies checkpoint files ("CMTB" + format version).
+const (
+	Magic   uint32 = 0x434d5442
+	Version uint32 = 1
+)
+
+// Meta is the validated header of a checkpoint.
+type Meta struct {
+	N        int32
+	ElemGrid [3]int32
+	ProcGrid [3]int32
+	Rank     int32
+	Nel      int32
+	Step     int64
+	Time     float64
+}
+
+// Snapshot is one rank's checkpoint contents.
+type Snapshot struct {
+	Meta Meta
+	U    [solver.NumFields][]float64
+}
+
+// metaOf captures the solver's identity for the header.
+func metaOf(s *solver.Solver, step int64, time float64) Meta {
+	return Meta{
+		N: int32(s.Cfg.N),
+		ElemGrid: [3]int32{int32(s.Cfg.ElemGrid[0]), int32(s.Cfg.ElemGrid[1]),
+			int32(s.Cfg.ElemGrid[2])},
+		ProcGrid: [3]int32{int32(s.Cfg.ProcGrid[0]), int32(s.Cfg.ProcGrid[1]),
+			int32(s.Cfg.ProcGrid[2])},
+		Rank: int32(s.Rank.ID()),
+		Nel:  int32(s.Local.Nel),
+		Step: step,
+		Time: time,
+	}
+}
+
+// Write serializes rank state s at the given step/time to w.
+func Write(w io.Writer, s *solver.Solver, step int64, time float64) error {
+	meta := metaOf(s, step, time)
+	for _, v := range []interface{}{Magic, Version, meta} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("checkpoint: write header: %w", err)
+		}
+	}
+	n3 := s.Cfg.N * s.Cfg.N * s.Cfg.N
+	want := s.Local.Nel * n3
+	for c := 0; c < solver.NumFields; c++ {
+		if len(s.U[c]) != want {
+			return fmt.Errorf("checkpoint: field %d has %d values, want %d", c, len(s.U[c]), want)
+		}
+		if err := binary.Write(w, binary.LittleEndian, s.U[c]); err != nil {
+			return fmt.Errorf("checkpoint: write field %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// Read parses a checkpoint from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("checkpoint: read version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	var snap Snapshot
+	if err := binary.Read(r, binary.LittleEndian, &snap.Meta); err != nil {
+		return nil, fmt.Errorf("checkpoint: read header: %w", err)
+	}
+	m := snap.Meta
+	if m.N < 2 || m.Nel < 1 {
+		return nil, fmt.Errorf("checkpoint: implausible header: N=%d Nel=%d", m.N, m.Nel)
+	}
+	vol := int(m.Nel) * int(m.N) * int(m.N) * int(m.N)
+	for c := 0; c < solver.NumFields; c++ {
+		// Read in bounded chunks so a forged header claiming a huge
+		// element count fails at EOF instead of exhausting memory.
+		field, err := readFloatsChunked(r, vol)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: read field %d: %w", c, err)
+		}
+		for _, v := range field {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("checkpoint: field %d contains NaN", c)
+			}
+		}
+		snap.U[c] = field
+	}
+	return &snap, nil
+}
+
+// readFloatsChunked reads exactly n float64s, allocating as data arrives.
+func readFloatsChunked(r io.Reader, n int) ([]float64, error) {
+	const chunk = 1 << 16
+	out := make([]float64, 0, min(n, chunk))
+	buf := make([]float64, chunk)
+	for len(out) < n {
+		want := n - len(out)
+		if want > chunk {
+			want = chunk
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:want]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:want]...)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Restore copies a snapshot's fields into a compatible solver, returning
+// the recorded step and time. The solver must match the snapshot's mesh
+// shape and rank.
+func Restore(s *solver.Solver, snap *Snapshot) (step int64, time float64, err error) {
+	m := snap.Meta
+	if int(m.N) != s.Cfg.N ||
+		int(m.ElemGrid[0]) != s.Cfg.ElemGrid[0] ||
+		int(m.ElemGrid[1]) != s.Cfg.ElemGrid[1] ||
+		int(m.ElemGrid[2]) != s.Cfg.ElemGrid[2] ||
+		int(m.ProcGrid[0]) != s.Cfg.ProcGrid[0] ||
+		int(m.ProcGrid[1]) != s.Cfg.ProcGrid[1] ||
+		int(m.ProcGrid[2]) != s.Cfg.ProcGrid[2] {
+		return 0, 0, fmt.Errorf("checkpoint: mesh mismatch: snapshot N=%d grid=%v procs=%v vs config N=%d grid=%v procs=%v",
+			m.N, m.ElemGrid, m.ProcGrid, s.Cfg.N, s.Cfg.ElemGrid, s.Cfg.ProcGrid)
+	}
+	if int(m.Rank) != s.Rank.ID() {
+		return 0, 0, fmt.Errorf("checkpoint: rank mismatch: snapshot %d, solver %d", m.Rank, s.Rank.ID())
+	}
+	if int(m.Nel) != s.Local.Nel {
+		return 0, 0, fmt.Errorf("checkpoint: element count mismatch: %d vs %d", m.Nel, s.Local.Nel)
+	}
+	for c := 0; c < solver.NumFields; c++ {
+		copy(s.U[c], snap.U[c])
+	}
+	return m.Step, m.Time, nil
+}
+
+// FilePath returns the per-rank checkpoint path under dir for the given
+// tag: dir/<tag>.rank<rank>.ckpt.
+func FilePath(dir, tag string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.rank%04d.ckpt", tag, rank))
+}
+
+// WriteFile checkpoints one rank to its file under dir, creating dir if
+// needed.
+func WriteFile(dir, tag string, s *solver.Solver, step int64, time float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	path := FilePath(dir, tag, s.Rank.ID())
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := Write(f, s, step, time); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads one rank's checkpoint from dir.
+func ReadFile(dir, tag string, rank int) (*Snapshot, error) {
+	f, err := os.Open(FilePath(dir, tag, rank))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

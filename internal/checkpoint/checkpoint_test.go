@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/solver"
+)
+
+func mkSolver(t testing.TB, r *comm.Rank, p int) *solver.Solver {
+	t.Helper()
+	cfg := solver.DefaultConfig(p, 5, 2)
+	s, err := solver.New(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+	return s
+}
+
+func TestRoundtripInMemory(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		s := mkSolver(t, r, 1)
+		s.Run(2)
+		var buf bytes.Buffer
+		if err := Write(&buf, s, 2, 0.123); err != nil {
+			t.Error(err)
+			return nil
+		}
+		snap, err := Read(&buf)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if snap.Meta.Step != 2 || snap.Meta.Time != 0.123 {
+			t.Errorf("meta = %+v", snap.Meta)
+		}
+		for c := 0; c < solver.NumFields; c++ {
+			for i := range s.U[c] {
+				if snap.U[c][i] != s.U[c][i] {
+					t.Errorf("field %d differs at %d", c, i)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsMismatchedMesh(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		s := mkSolver(t, r, 1)
+		var buf bytes.Buffer
+		if err := Write(&buf, s, 0, 0); err != nil {
+			t.Error(err)
+			return nil
+		}
+		snap, err := Read(&buf)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		// Solver with a different N must refuse the snapshot.
+		cfg := solver.DefaultConfig(1, 6, 2)
+		other, err := solver.New(r, cfg)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if _, _, err := Restore(other, snap); err == nil {
+			t.Error("mesh mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Correct magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x42, 0x54, 0x4d, 0x43}) // Magic little-endian
+	buf.Write([]byte{0xff, 0, 0, 0})          // version 255
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestResumeEquivalence(t *testing.T) {
+	// Running 6 steps straight must equal running 3, checkpointing,
+	// restoring into a fresh solver, and running 3 more.
+	const p = 2
+	direct := make([][]float64, p)
+	resumed := make([][]float64, p)
+
+	_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+		s := mkSolver(t, r, p)
+		s.Run(6)
+		direct[r.ID()] = append([]float64(nil), s.U[solver.IEnergy]...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := make([]*Snapshot, p)
+	_, err = comm.RunSimple(p, func(r *comm.Rank) error {
+		s := mkSolver(t, r, p)
+		s.Run(3)
+		var buf bytes.Buffer
+		if err := Write(&buf, s, 3, 0); err != nil {
+			return err
+		}
+		snap, err := Read(&buf)
+		if err != nil {
+			return err
+		}
+		snaps[r.ID()] = snap
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = comm.RunSimple(p, func(r *comm.Rank) error {
+		s := mkSolver(t, r, p)
+		step, _, err := Restore(s, snaps[r.ID()])
+		if err != nil {
+			return err
+		}
+		if step != 3 {
+			t.Errorf("restored step = %d", step)
+		}
+		s.Run(3)
+		resumed[r.ID()] = append([]float64(nil), s.U[solver.IEnergy]...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for rank := 0; rank < p; rank++ {
+		for i := range direct[rank] {
+			if math.Abs(direct[rank][i]-resumed[rank][i]) > 1e-12*(1+math.Abs(direct[rank][i])) {
+				t.Fatalf("rank %d: resumed run diverges at %d: %v vs %v",
+					rank, i, resumed[rank][i], direct[rank][i])
+			}
+		}
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	_, err := comm.RunSimple(2, func(r *comm.Rank) error {
+		s := mkSolver(t, r, 2)
+		s.Run(1)
+		if err := WriteFile(dir, "test", s, 1, 0.5); err != nil {
+			return err
+		}
+		snap, err := ReadFile(dir, "test", r.ID())
+		if err != nil {
+			return err
+		}
+		if _, tm, err := Restore(s, snap); err != nil || tm != 0.5 {
+			t.Errorf("restore: time=%v err=%v", tm, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(t.TempDir(), "nope", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the checkpoint parser; it must
+// reject or parse, never panic or allocate absurdly.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid header prefix and some corruptions.
+	valid := []byte{0x42, 0x54, 0x4d, 0x43, 1, 0, 0, 0}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x54, 0x4d, 0x43})
+	f.Add(bytes.Repeat([]byte{0xff}, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Guard against headers claiming giant element counts: Read
+		// must fail cleanly, not OOM (the Nel/N sanity check).
+		snap, err := Read(bytes.NewReader(data))
+		if err == nil && snap == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}
+
+// FuzzReadParticles exercises the particle parser the same way.
+func FuzzReadParticles(f *testing.F) {
+	f.Add([]byte{0x50, 0x54, 0x4d, 0x43, 1, 0, 0, 0})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadParticles(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/particles"
+)
+
+// Particle checkpointing: the dispersed phase serializes alongside the
+// fluid so coupled campaigns can resume losslessly.
+
+// ParticleMagic identifies particle checkpoint sections.
+const ParticleMagic uint32 = 0x434d5450 // "CMTP"
+
+// particleHeader is the fixed header of a particle checkpoint.
+type particleHeader struct {
+	Rank  int32
+	Count int64
+}
+
+// WriteParticles serializes one rank's cloud to w.
+func WriteParticles(w io.Writer, c *particles.Cloud, rank int) error {
+	hdr := particleHeader{Rank: int32(rank), Count: int64(c.Count())}
+	for _, v := range []interface{}{ParticleMagic, Version, hdr} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("checkpoint: particles header: %w", err)
+		}
+	}
+	for _, p := range c.Particles() {
+		rec := [7]float64{
+			float64(p.ID),
+			p.Pos[0], p.Pos[1], p.Pos[2],
+			p.Vel[0], p.Vel[1], p.Vel[2],
+		}
+		if err := binary.Write(w, binary.LittleEndian, rec[:]); err != nil {
+			return fmt.Errorf("checkpoint: particle record: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadParticles parses a particle checkpoint, returning the rank it was
+// written by and the particles.
+func ReadParticles(r io.Reader) (rank int, ps []particles.Particle, err error) {
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: particles magic: %w", err)
+	}
+	if magic != ParticleMagic {
+		return 0, nil, fmt.Errorf("checkpoint: bad particle magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return 0, nil, err
+	}
+	if version != Version {
+		return 0, nil, fmt.Errorf("checkpoint: unsupported particle version %d", version)
+	}
+	var hdr particleHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return 0, nil, err
+	}
+	if hdr.Count < 0 {
+		return 0, nil, fmt.Errorf("checkpoint: negative particle count %d", hdr.Count)
+	}
+	// Append record by record so a forged count fails at EOF instead of
+	// pre-allocating unbounded memory.
+	rec := make([]float64, 7)
+	for i := int64(0); i < hdr.Count; i++ {
+		if err := binary.Read(r, binary.LittleEndian, rec); err != nil {
+			return 0, nil, fmt.Errorf("checkpoint: particle %d: %w", i, err)
+		}
+		ps = append(ps, particles.Particle{
+			ID:  int64(rec[0]),
+			Pos: [3]float64{rec[1], rec[2], rec[3]},
+			Vel: [3]float64{rec[4], rec[5], rec[6]},
+		})
+	}
+	return int(hdr.Rank), ps, nil
+}

@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/particles"
+	"repro/internal/solver"
+)
+
+func TestParticleRoundtrip(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(1, 5, 2)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+			return solver.UniformState(1, 0.2, 0, 0, 1/solver.Gamma)
+		})
+		c, err := particles.New(s, particles.Config{Tau: 0.1})
+		if err != nil {
+			return err
+		}
+		c.Seed(30, 1)
+		for i := 0; i < 5; i++ {
+			c.Step(0.01)
+		}
+		before := append([]particles.Particle(nil), c.Particles()...)
+
+		var buf bytes.Buffer
+		if err := WriteParticles(&buf, c, r.ID()); err != nil {
+			t.Error(err)
+			return nil
+		}
+		rank, ps, err := ReadParticles(&buf)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if rank != 0 || len(ps) != len(before) {
+			t.Errorf("rank=%d count=%d", rank, len(ps))
+			return nil
+		}
+		for i := range ps {
+			if ps[i] != before[i] {
+				t.Errorf("particle %d differs: %+v vs %+v", i, ps[i], before[i])
+				return nil
+			}
+		}
+		// Restore into a fresh cloud and continue stepping.
+		c2, err := particles.New(s, particles.Config{Tau: 0.1})
+		if err != nil {
+			return err
+		}
+		c2.SetParticles(ps)
+		if c2.Count() != len(before) {
+			t.Errorf("restored count %d", c2.Count())
+		}
+		c2.Step(0.01)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParticleReadRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadParticles(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Fluid magic is not particle magic.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x42, 0x54, 0x4d, 0x43})
+	if _, _, err := ReadParticles(&buf); err == nil {
+		t.Fatal("fluid checkpoint accepted as particles")
+	}
+}
+
+func TestParticleEmptyCloud(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(1, 5, 1)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		c, err := particles.New(s, particles.Config{Tau: 0.1})
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := WriteParticles(&buf, c, 0); err != nil {
+			t.Error(err)
+			return nil
+		}
+		_, ps, err := ReadParticles(&buf)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if len(ps) != 0 {
+			t.Errorf("empty cloud read back %d particles", len(ps))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

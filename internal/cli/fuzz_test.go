@@ -1,0 +1,19 @@
+package cli
+
+import "testing"
+
+func FuzzParseTriple(f *testing.F) {
+	for _, seed := range []string{"8x8x4", "1x1x1", "", "x", "axbxc", "8x8", "-1x2x3", "999999x1x1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := ParseTriple(s)
+		if err == nil {
+			for d := 0; d < 3; d++ {
+				if out[d] < 1 {
+					t.Fatalf("ParseTriple(%q) accepted nonpositive component %v", s, out)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// CalibrateModel measures the live in-process transport with a ping-pong
+// between two ranks and least-squares fits an alpha-beta model to the
+// observed one-way times. The result plays the same role as a cluster
+// micro-benchmark (e.g. OSU latency/bandwidth) in a real co-design study:
+// it grounds the network-model axis in measurements, so modeled times for
+// "this machine" can be compared against the QDR/exascale presets.
+//
+// sizes are payload lengths in float64s (defaults cover 8B..512KiB);
+// reps round trips are averaged per size.
+func CalibrateModel(name string, sizes []int, reps int) (netmodel.Model, error) {
+	if name == "" {
+		name = "calibrated"
+	}
+	if len(sizes) == 0 {
+		sizes = []int{1, 16, 256, 4096, 65536}
+	}
+	if reps < 1 {
+		reps = 20
+	}
+	type sample struct {
+		bytes  float64
+		oneway float64
+	}
+	samples := make([]sample, 0, len(sizes))
+
+	_, err := RunSimple(2, func(r *Rank) error {
+		for _, n := range sizes {
+			buf := make([]float64, n)
+			// Warm the path.
+			if r.ID() == 0 {
+				r.Send(1, 1, buf)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 1)
+				r.Send(0, 1, buf)
+			}
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 2, buf)
+					r.Recv(1, 2)
+				} else {
+					r.Recv(0, 2)
+					r.Send(0, 2, buf)
+				}
+			}
+			if r.ID() == 0 {
+				rtt := time.Since(start).Seconds() / float64(reps)
+				samples = append(samples, sample{bytes: float64(8 * n), oneway: rtt / 2})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return netmodel.Model{}, err
+	}
+
+	// Least squares t = alpha + beta*bytes.
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		sx += s.bytes
+		sy += s.oneway
+		sxx += s.bytes * s.bytes
+		sxy += s.bytes * s.oneway
+	}
+	m := float64(len(samples))
+	den := m*sxx - sx*sx
+	if den == 0 {
+		return netmodel.Model{}, fmt.Errorf("comm: calibration needs at least two distinct sizes")
+	}
+	beta := (m*sxy - sx*sy) / den
+	alpha := (sy - beta*sx) / m
+	// Transport noise can produce slightly negative fits; clamp to tiny
+	// positive values so the model stays usable.
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	if beta <= 0 {
+		beta = 1e-12
+	}
+	return netmodel.Model{Name: name, Alpha: alpha, Beta: beta, GammaCompute: 1}, nil
+}

@@ -1,0 +1,87 @@
+package comm
+
+import "fmt"
+
+// Cartesian topology helpers. When Run is given Options.Grid, ranks are
+// laid out on a 3D processor grid in x-fastest order — the decomposition
+// CMT-bone uses for its computational domain (e.g. the paper's Figure 7
+// setup: 256 ranks as an 8 x 8 x 4 grid).
+
+// HasGrid reports whether the communicator carries a processor grid.
+func (r *Rank) HasGrid() bool { return r.comm.hasGrid }
+
+// GridDims returns the processor grid dimensions.
+func (r *Rank) GridDims() [3]int { return r.comm.grid }
+
+// Coords returns this rank's grid coordinates.
+func (r *Rank) Coords() [3]int {
+	r.mustGrid()
+	return r.comm.coordsOf(r.id)
+}
+
+// RankOf maps grid coordinates to a rank id.
+func (r *Rank) RankOf(coords [3]int) int {
+	r.mustGrid()
+	for d := 0; d < 3; d++ {
+		if coords[d] < 0 || coords[d] >= r.comm.grid[d] {
+			panic(fmt.Sprintf("comm: coords %v outside grid %v", coords, r.comm.grid))
+		}
+	}
+	return r.comm.rankOf(coords)
+}
+
+// Shift returns the neighbor rank displaced by disp along dim, following
+// MPI_Cart_shift semantics: -1 (no neighbor) at a non-periodic boundary,
+// wraparound when the dimension is periodic.
+func (r *Rank) Shift(dim, disp int) int {
+	r.mustGrid()
+	c := r.comm.coordsOf(r.id)
+	n := r.comm.grid[dim]
+	v := c[dim] + disp
+	if r.comm.periodic[dim] {
+		v = ((v % n) + n) % n
+	} else if v < 0 || v >= n {
+		return -1
+	}
+	c[dim] = v
+	return r.comm.rankOf(c)
+}
+
+// Hops returns the modeled switch-hop distance from this rank to dst,
+// which the network model uses for distance-sensitive message costs.
+func (r *Rank) Hops(dst int) int { return r.comm.hops(r.id, dst) }
+
+func (r *Rank) mustGrid() {
+	if !r.comm.hasGrid {
+		panic("comm: communicator has no Cartesian grid (set Options.Grid)")
+	}
+}
+
+// FactorGrid splits p ranks into a near-cubic [3]int processor grid with
+// nx >= ny >= nz, the heuristic Nek-family codes use to keep surface-to-
+// volume ratio low. It always succeeds (worst case p x 1 x 1).
+func FactorGrid(p int) [3]int {
+	best := [3]int{p, 1, 1}
+	bestScore := score(best)
+	for nz := 1; nz*nz*nz <= p; nz++ {
+		if p%nz != 0 {
+			continue
+		}
+		rest := p / nz
+		for ny := nz; ny*ny <= rest; ny++ {
+			if rest%ny != 0 {
+				continue
+			}
+			g := [3]int{rest / ny, ny, nz}
+			if s := score(g); s < bestScore {
+				best, bestScore = g, s
+			}
+		}
+	}
+	return best
+}
+
+// score is the surface area of the grid box; lower is more cubic.
+func score(g [3]int) int {
+	return g[0]*g[1] + g[1]*g[2] + g[0]*g[2]
+}

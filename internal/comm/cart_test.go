@@ -1,0 +1,166 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordsRoundtrip(t *testing.T) {
+	grid := [3]int{4, 3, 2}
+	_, err := Run(24, Options{Grid: grid}, func(r *Rank) error {
+		c := r.Coords()
+		for d := 0; d < 3; d++ {
+			if c[d] < 0 || c[d] >= grid[d] {
+				t.Errorf("rank %d coord %v out of range", r.ID(), c)
+			}
+		}
+		if r.RankOf(c) != r.ID() {
+			t.Errorf("RankOf(Coords()) = %d for rank %d", r.RankOf(c), r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftNonPeriodic(t *testing.T) {
+	_, err := Run(8, Options{Grid: [3]int{2, 2, 2}}, func(r *Rank) error {
+		c := r.Coords()
+		for d := 0; d < 3; d++ {
+			up := r.Shift(d, +1)
+			if c[d] == 1 {
+				if up != -1 {
+					t.Errorf("rank %d dim %d: boundary shift should be -1, got %d", r.ID(), d, up)
+				}
+			} else {
+				want := c
+				want[d]++
+				if up != r.RankOf(want) {
+					t.Errorf("rank %d dim %d: shift = %d", r.ID(), d, up)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftPeriodicWraps(t *testing.T) {
+	_, err := Run(6, Options{Grid: [3]int{3, 2, 1}, Periodic: [3]bool{true, true, true}}, func(r *Rank) error {
+		for d := 0; d < 3; d++ {
+			up := r.Shift(d, +1)
+			if up < 0 {
+				t.Errorf("periodic shift returned -1 (rank %d dim %d)", r.ID(), d)
+			}
+			// Shifting forward then backward must return home.
+			c := r.comm.coordsOf(up)
+			c[d] = ((c[d]-1)%r.GridDims()[d] + r.GridDims()[d]) % r.GridDims()[d]
+			if r.RankOf(c) != r.ID() {
+				t.Errorf("shift round trip failed for rank %d dim %d", r.ID(), d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftNeighborSymmetry(t *testing.T) {
+	// Property: if B is my +1 neighbor, I am B's -1 neighbor.
+	grid := [3]int{4, 2, 2}
+	neighbors := make([][3]int, 16) // per-rank +1 neighbor per dim
+	_, err := Run(16, Options{Grid: grid, Periodic: [3]bool{true, false, true}}, func(r *Rank) error {
+		for d := 0; d < 3; d++ {
+			neighbors[r.ID()][d] = r.Shift(d, +1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(16, Options{Grid: grid, Periodic: [3]bool{true, false, true}}, func(r *Rank) error {
+		for d := 0; d < 3; d++ {
+			up := neighbors[r.ID()][d]
+			if up >= 0 && r.ID() != func() int { return neighborDown(neighbors, up, d, r) }() {
+				// checked inside neighborDown via Shift on the peer's rank
+			}
+			_ = up
+			down := r.Shift(d, -1)
+			if down >= 0 && neighbors[down][d] != r.ID() {
+				t.Errorf("asymmetric neighbors: rank %d dim %d down=%d but down's up=%d",
+					r.ID(), d, down, neighbors[down][d])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func neighborDown(neighbors [][3]int, up, d int, r *Rank) int { return up }
+
+func TestHopsSymmetricAndPositive(t *testing.T) {
+	_, err := Run(12, Options{Grid: [3]int{3, 2, 2}}, func(r *Rank) error {
+		for dst := 0; dst < r.Size(); dst++ {
+			h := r.Hops(dst)
+			if h < 1 {
+				t.Errorf("hops(%d,%d) = %d", r.ID(), dst, h)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorGridProperties(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw)%1024 + 1
+		g := FactorGrid(p)
+		if g[0]*g[1]*g[2] != p {
+			return false
+		}
+		return g[0] >= g[1] && g[1] >= g[2] && g[2] >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorGridPaperSetup(t *testing.T) {
+	// The paper's Figure 7 runs 256 ranks as 8 x 8 x 4.
+	g := FactorGrid(256)
+	if g != [3]int{8, 8, 4} {
+		t.Fatalf("FactorGrid(256) = %v, want [8 8 4]", g)
+	}
+	if FactorGrid(64) != [3]int{4, 4, 4} {
+		t.Fatalf("FactorGrid(64) = %v", FactorGrid(64))
+	}
+	if FactorGrid(1) != [3]int{1, 1, 1} {
+		t.Fatalf("FactorGrid(1) = %v", FactorGrid(1))
+	}
+}
+
+func TestNoGridPanics(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.HasGrid() {
+			t.Error("no grid expected")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("Coords without grid must panic")
+			}
+		}()
+		r.Coords()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

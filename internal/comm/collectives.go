@@ -1,0 +1,568 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReduceOp selects the combining operation of a reduction.
+type ReduceOp int
+
+// Reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMin
+	OpMax
+)
+
+// String implements fmt.Stringer.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+// combine folds src into dst element-wise.
+func (op ReduceOp) combine(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpProd:
+		for i, v := range src {
+			dst[i] *= v
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+func (op ReduceOp) combineInts(dst, src []int64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpProd:
+		for i, v := range src {
+			dst[i] *= v
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// Collective messages use a reserved tag space far above application tags,
+// so user point-to-point traffic can never match collective rounds.
+const collTagBase = 1 << 24
+
+// raw point-to-point helpers used inside collectives: they move data and
+// advance the virtual clock but record no profile entries, so a collective
+// shows up as a single MPI call the way mpiP reports it. Like deliver,
+// sendRaw copies payloads, so collectives may keep mutating their working
+// buffers after each round's send.
+
+func (r *Rank) sendRaw(dst, tag int, data []float64, ints []int64) int64 {
+	m := &message{src: r.id, tag: tag}
+	if data != nil {
+		m.data = append([]float64(nil), data...)
+	}
+	if ints != nil {
+		m.ints = append([]int64(nil), ints...)
+	}
+	hops := r.comm.hops(r.id, dst)
+	sendVT := r.clock.Now()
+	m.arrival = r.clock.SendStamp(int(m.bytes()), hops)
+	r.comm.boxes[dst].put(m)
+	r.comm.trace(r.id, dst, tag, m.bytes(), hops, sendVT, m.arrival, r.prof.site)
+	return m.bytes()
+}
+
+func (r *Rank) recvRaw(src, tag int) *message {
+	m := r.comm.boxes[r.id].take(src, tag)
+	r.clock.WaitUntil(m.arrival)
+	return m
+}
+
+// collStart opens a profiled collective region and returns a completion
+// function recording (wall, modeled, bytes).
+func (r *Rank) collStart(op string) func(bytes int64) {
+	start := time.Now()
+	v0 := r.clock.Now()
+	return func(bytes int64) {
+		r.prof.record(op, time.Since(start).Seconds(), r.clock.Now()-v0, bytes)
+	}
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm, ceil(log2 P) rounds).
+func (r *Rank) Barrier() {
+	done := r.collStart("MPI_Barrier")
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 0
+	var bytes int64
+	for k := 1; k < p; k <<= 1 {
+		bytes += r.sendRaw((id+k)%p, tag, nil, nil)
+		r.recvRaw((id-k%p+p)%p, tag)
+	}
+	done(bytes)
+}
+
+// Bcast broadcasts data from root using a binomial tree. Non-root ranks
+// pass nil and receive the broadcast value; root gets its own slice back.
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	done := r.collStart("MPI_Bcast")
+	d, _, bytes := r.bcastRaw(root, data, nil)
+	done(bytes)
+	return d
+}
+
+// BcastInts is Bcast for int64 payloads.
+func (r *Rank) BcastInts(root int, ints []int64) []int64 {
+	done := r.collStart("MPI_Bcast")
+	_, is, bytes := r.bcastRaw(root, nil, ints)
+	done(bytes)
+	return is
+}
+
+func (r *Rank) bcastRaw(root int, data []float64, ints []int64) ([]float64, []int64, int64) {
+	p, id := r.comm.size, r.id
+	vr := (id - root + p) % p
+	tag := collTagBase + 1
+	var bytes int64
+	// Binomial tree (MPICH shape): receive from the parent identified by
+	// the lowest set bit of vr, then forward to children at successively
+	// lower bits.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := (id - mask + p) % p
+			m := r.recvRaw(parent, tag)
+			data, ints = m.data, m.ints
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			bytes += r.sendRaw((id+mask)%p, tag, data, ints)
+		}
+	}
+	return data, ints, bytes
+}
+
+// Reduce combines data from all ranks onto root using a binomial tree.
+// On root the input slice is updated in place with the reduction and also
+// returned; on other ranks the contents of data are consumed (mutated as
+// scratch) and the return value is nil.
+func (r *Rank) Reduce(op ReduceOp, root int, data []float64) []float64 {
+	done := r.collStart("MPI_Reduce")
+	p, id := r.comm.size, r.id
+	vr := (id - root + p) % p
+	tag := collTagBase + 2
+	var bytes int64
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			bytes += r.sendRaw((vr-mask+root)%p, tag, data, nil)
+			done(bytes)
+			return nil
+		}
+		if vr+mask < p {
+			m := r.recvRaw((vr+mask+root)%p, tag)
+			op.combine(data, m.data)
+		}
+	}
+	done(bytes)
+	return data
+}
+
+// rabenseifnerMinLen is the vector length above which Allreduce switches
+// from recursive doubling (latency-optimal, log2 P messages of the full
+// vector) to the Rabenseifner algorithm (bandwidth-optimal:
+// reduce-scatter then allgather, moving ~2x the vector total instead of
+// log2(P)x) — the size-based algorithm switch real MPI libraries make.
+const rabenseifnerMinLen = 4096
+
+// Allreduce combines data across all ranks and leaves the result on every
+// rank, updating data in place and returning it. Small vectors use
+// recursive doubling; large vectors use the Rabenseifner
+// reduce-scatter/allgather algorithm.
+func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
+	done := r.collStart("MPI_Allreduce")
+	var bytes int64
+	if len(data) >= rabenseifnerMinLen && r.comm.size > 2 {
+		bytes = r.allreduceRabenseifner(op, data)
+	} else {
+		bytes = r.allreduceRaw(op, data, nil)
+	}
+	done(bytes)
+	return data
+}
+
+// allreduceRabenseifner: fold to a power of two, recursive-halving
+// reduce-scatter (each round exchanges half the remaining vector), then
+// recursive-doubling allgather, then unfold.
+func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 11
+	var bytes int64
+
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	// Fold: high ranks park their data on their low partner.
+	if id >= p2 {
+		bytes += r.sendRaw(id-p2, tag, data, nil)
+		m := r.recvRaw(id-p2, tag)
+		copy(data, m.data)
+		return bytes
+	}
+	if id < rem {
+		m := r.recvRaw(id+p2, tag)
+		op.combine(data, m.data)
+	}
+
+	n := len(data)
+	// Reduce-scatter by recursive halving: after round k, this rank is
+	// responsible for a 1/2^k slice that holds fully reduced values. The
+	// parent interval of each split is recorded so the allgather phase
+	// reconstructs exactly, even for odd slice lengths. Partners at each
+	// round share the same interval history (they differ only in the
+	// current mask bit), so their split points agree.
+	type span struct{ lo, hi int }
+	lo, hi := 0, n
+	var parents []span
+	for mask := p2 >> 1; mask >= 1; mask >>= 1 {
+		partner := id ^ mask
+		parents = append(parents, span{lo, hi})
+		mid := lo + (hi-lo)/2
+		var sendLo, sendHi, keepLo, keepHi int
+		if id&mask == 0 {
+			// Keep the lower half, send the upper.
+			sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+		} else {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		bytes += r.sendRaw(partner, tag, data[sendLo:sendHi], nil)
+		m := r.recvRaw(partner, tag)
+		op.combine(data[keepLo:keepHi], m.data)
+		lo, hi = keepLo, keepHi
+	}
+	// Allgather by recursive doubling, unwinding the recorded splits.
+	for mask := 1; mask < p2; mask <<= 1 {
+		partner := id ^ mask
+		parent := parents[len(parents)-1]
+		parents = parents[:len(parents)-1]
+		bytes += r.sendRaw(partner, tag, data[lo:hi], nil)
+		m := r.recvRaw(partner, tag)
+		if lo == parent.lo {
+			copy(data[hi:parent.hi], m.data)
+		} else {
+			copy(data[parent.lo:lo], m.data)
+		}
+		lo, hi = parent.lo, parent.hi
+	}
+	// Unfold.
+	if id < rem {
+		bytes += r.sendRaw(id+p2, tag, data, nil)
+	}
+	return bytes
+}
+
+// AllreduceInts is Allreduce for int64 payloads.
+func (r *Rank) AllreduceInts(op ReduceOp, ints []int64) []int64 {
+	done := r.collStart("MPI_Allreduce")
+	bytes := r.allreduceRaw(op, nil, ints)
+	done(bytes)
+	return ints
+}
+
+func (r *Rank) allreduceRaw(op ReduceOp, data []float64, ints []int64) int64 {
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 3
+	var bytes int64
+	combineMsg := func(m *message) {
+		if data != nil {
+			op.combine(data, m.data)
+		}
+		if ints != nil {
+			op.combineInts(ints, m.ints)
+		}
+	}
+	// Fold ranks beyond the largest power of two into the lower block.
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	if id >= p2 {
+		bytes += r.sendRaw(id-p2, tag, data, ints)
+		m := r.recvRaw(id-p2, tag)
+		if data != nil {
+			copy(data, m.data)
+		}
+		if ints != nil {
+			copy(ints, m.ints)
+		}
+		return bytes
+	}
+	if id < rem {
+		combineMsg(r.recvRaw(id+p2, tag))
+	}
+	// Recursive doubling among the power-of-two block.
+	for mask := 1; mask < p2; mask <<= 1 {
+		partner := id ^ mask
+		bytes += r.sendRaw(partner, tag, data, ints)
+		combineMsg(r.recvRaw(partner, tag))
+	}
+	if id < rem {
+		bytes += r.sendRaw(id+p2, tag, data, ints)
+	}
+	return bytes
+}
+
+// Gather collects fixed-size contributions onto root, concatenated in
+// rank order. Non-root ranks receive nil.
+func (r *Rank) Gather(root int, data []float64) []float64 {
+	done := r.collStart("MPI_Gather")
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 4
+	if id != root {
+		bytes := r.sendRaw(root, tag, data, nil)
+		done(bytes)
+		return nil
+	}
+	out := make([]float64, len(data)*p)
+	copy(out[id*len(data):], data)
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		m := r.recvRaw(src, tag)
+		copy(out[src*len(data):], m.data)
+	}
+	done(0)
+	return out
+}
+
+// Scatter distributes consecutive equal chunks of send (significant only
+// on root) to every rank and returns this rank's chunk of length n.
+func (r *Rank) Scatter(root int, send []float64, n int) []float64 {
+	done := r.collStart("MPI_Scatter")
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 5
+	if id == root {
+		if len(send) != n*p {
+			panic(fmt.Sprintf("comm: scatter needs %d values, got %d", n*p, len(send)))
+		}
+		var bytes int64
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			chunk := make([]float64, n)
+			copy(chunk, send[dst*n:(dst+1)*n])
+			bytes += r.sendRaw(dst, tag, chunk, nil)
+		}
+		out := make([]float64, n)
+		copy(out, send[id*n:(id+1)*n])
+		done(bytes)
+		return out
+	}
+	m := r.recvRaw(root, tag)
+	done(0)
+	return m.data
+}
+
+// Allgather concatenates each rank's fixed-size contribution in rank
+// order on every rank (ring algorithm, P-1 steps).
+func (r *Rank) Allgather(data []float64) []float64 {
+	done := r.collStart("MPI_Allgather")
+	p, id := r.comm.size, r.id
+	n := len(data)
+	tag := collTagBase + 6
+	out := make([]float64, n*p)
+	copy(out[id*n:], data)
+	var bytes int64
+	right, left := (id+1)%p, (id-1+p)%p
+	cur := id
+	for step := 0; step < p-1; step++ {
+		chunk := make([]float64, n)
+		copy(chunk, out[cur*n:(cur+1)*n])
+		bytes += r.sendRaw(right, tag, chunk, nil)
+		m := r.recvRaw(left, tag)
+		cur = (cur - 1 + p) % p
+		copy(out[cur*n:], m.data)
+	}
+	done(bytes)
+	return out
+}
+
+// AllgatherInts is Allgather for one int64 per rank, the form the
+// gather-scatter setup uses to learn global sizes.
+func (r *Rank) AllgatherInts(v int64) []int64 {
+	done := r.collStart("MPI_Allgather")
+	p, id := r.comm.size, r.id
+	tag := collTagBase + 7
+	out := make([]int64, p)
+	out[id] = v
+	var bytes int64
+	right, left := (id+1)%p, (id-1+p)%p
+	cur := id
+	for step := 0; step < p-1; step++ {
+		bytes += r.sendRaw(right, tag, nil, []int64{out[cur]})
+		m := r.recvRaw(left, tag)
+		cur = (cur - 1 + p) % p
+		out[cur] = m.ints[0]
+	}
+	done(bytes)
+	return out
+}
+
+// Alltoall exchanges fixed-size chunks: chunk i of send goes to rank i,
+// and the result holds one chunk from every rank, in rank order. This is
+// the generalized all-to-all the gather-scatter discovery phase uses.
+func (r *Rank) Alltoall(send []float64, n int) []float64 {
+	done := r.collStart("MPI_Alltoall")
+	p, id := r.comm.size, r.id
+	if len(send) != n*p {
+		panic(fmt.Sprintf("comm: alltoall needs %d values, got %d", n*p, len(send)))
+	}
+	tag := collTagBase + 8
+	out := make([]float64, n*p)
+	copy(out[id*n:], send[id*n:(id+1)*n])
+	var bytes int64
+	for step := 1; step < p; step++ {
+		dst := (id + step) % p
+		src := (id - step + p) % p
+		chunk := make([]float64, n)
+		copy(chunk, send[dst*n:(dst+1)*n])
+		bytes += r.sendRaw(dst, tag, chunk, nil)
+		m := r.recvRaw(src, tag)
+		copy(out[src*n:], m.data)
+	}
+	done(bytes)
+	return out
+}
+
+// Alltoallv exchanges variable-size int64 chunks; sendCounts[i] values go
+// to rank i. It returns the received values concatenated in rank order
+// along with the per-source counts.
+func (r *Rank) AlltoallvInts(send []int64, sendCounts []int) (recv []int64, recvCounts []int) {
+	done := r.collStart("MPI_Alltoallv")
+	p, id := r.comm.size, r.id
+	if len(sendCounts) != p {
+		panic(fmt.Sprintf("comm: alltoallv needs %d counts, got %d", p, len(sendCounts)))
+	}
+	offs := make([]int, p+1)
+	for i, c := range sendCounts {
+		offs[i+1] = offs[i] + c
+	}
+	if offs[p] != len(send) {
+		panic(fmt.Sprintf("comm: alltoallv counts sum %d != payload %d", offs[p], len(send)))
+	}
+	tag := collTagBase + 9
+	chunks := make([][]int64, p)
+	chunks[id] = send[offs[id]:offs[id+1]]
+	var bytes int64
+	for step := 1; step < p; step++ {
+		dst := (id + step) % p
+		src := (id - step + p) % p
+		chunk := make([]int64, sendCounts[dst])
+		copy(chunk, send[offs[dst]:offs[dst+1]])
+		bytes += r.sendRaw(dst, tag, nil, chunk)
+		m := r.recvRaw(src, tag)
+		chunks[src] = m.ints
+	}
+	recvCounts = make([]int, p)
+	total := 0
+	for i, c := range chunks {
+		recvCounts[i] = len(c)
+		total += len(c)
+	}
+	recv = make([]int64, 0, total)
+	for _, c := range chunks {
+		recv = append(recv, c...)
+	}
+	done(bytes)
+	return recv, recvCounts
+}
+
+// Alltoallv is AlltoallvInts for float64 payloads.
+func (r *Rank) Alltoallv(send []float64, sendCounts []int) (recv []float64, recvCounts []int) {
+	done := r.collStart("MPI_Alltoallv")
+	p, id := r.comm.size, r.id
+	if len(sendCounts) != p {
+		panic(fmt.Sprintf("comm: alltoallv needs %d counts, got %d", p, len(sendCounts)))
+	}
+	offs := make([]int, p+1)
+	for i, c := range sendCounts {
+		offs[i+1] = offs[i] + c
+	}
+	if offs[p] != len(send) {
+		panic(fmt.Sprintf("comm: alltoallv counts sum %d != payload %d", offs[p], len(send)))
+	}
+	tag := collTagBase + 10
+	chunks := make([][]float64, p)
+	chunks[id] = send[offs[id]:offs[id+1]]
+	var bytes int64
+	for step := 1; step < p; step++ {
+		dst := (id + step) % p
+		src := (id - step + p) % p
+		chunk := make([]float64, sendCounts[dst])
+		copy(chunk, send[offs[dst]:offs[dst+1]])
+		bytes += r.sendRaw(dst, tag, chunk, nil)
+		m := r.recvRaw(src, tag)
+		chunks[src] = m.data
+	}
+	recvCounts = make([]int, p)
+	total := 0
+	for i, c := range chunks {
+		recvCounts[i] = len(c)
+		total += len(c)
+	}
+	recv = make([]float64, 0, total)
+	for _, c := range chunks {
+		recv = append(recv, c...)
+	}
+	done(bytes)
+	return recv, recvCounts
+}

@@ -1,0 +1,227 @@
+// Package comm is an in-process message-passing runtime that reproduces
+// the MPI communication patterns CMT-bone exercises: tagged point-to-point
+// sends and receives (blocking and nonblocking), the collectives used by
+// the gather-scatter library (barrier, broadcast, reduce, allreduce,
+// gather, allgather, alltoall, alltoallv), and Cartesian topology helpers.
+//
+// There is no mature MPI for Go, so ranks are goroutines and the transport
+// is per-rank mailboxes with MPI-style (source, tag) matching and
+// non-overtaking order. Sends are eager (buffered) and never block, which
+// matches the small-message regime of the mini-app and keeps the runtime
+// deadlock-free by construction; all waiting happens on the receive side,
+// exactly where the paper observes it (MPI_Wait, Figure 9).
+//
+// Two kinds of time are tracked. Host wall time is measured around every
+// operation, giving an mpiP-style profile (Figures 8-10). In addition each
+// rank carries a netmodel.Clock, a virtual clock advanced by an alpha-beta
+// network model, so the same run also yields cluster-scale modeled
+// timings — the "robust network models for system simulation" the paper's
+// Section VI motivates.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// Wildcards for Recv/Irecv/Probe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Options configures a communicator run.
+type Options struct {
+	// Model is the network cost model; the zero value selects
+	// netmodel.Loopback.
+	Model netmodel.Model
+	// Grid, when non-zero, declares a 3D processor grid of exactly
+	// Grid[0]*Grid[1]*Grid[2] == size ranks. It enables the Cartesian
+	// helpers on Rank and distance-sensitive message costs.
+	Grid [3]int
+	// Periodic marks each grid dimension as wrapping. Only meaningful
+	// with Grid.
+	Periodic [3]bool
+	// Tracer, when non-nil, receives every wire-level message (see
+	// TraceEvent) for offline network modeling.
+	Tracer Tracer
+	// ComputeFactors, when non-nil (length == size), slows each rank's
+	// modeled compute by the given factor (1 = nominal, 1.5 = 50%
+	// slower) — straggler injection for load-imbalance studies.
+	ComputeFactors []float64
+}
+
+// Comm is the shared state of one communicator: the mailboxes and the
+// collected per-rank profiles. It is created by Run and not used directly.
+type Comm struct {
+	size     int
+	model    netmodel.Model
+	boxes    []*mailbox
+	grid     [3]int
+	periodic [3]bool
+	hasGrid  bool
+	tracer   Tracer
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// hops returns the switch-hop distance between two ranks: Manhattan
+// distance on the processor grid when one is declared, else 1.
+func (c *Comm) hops(src, dst int) int {
+	if !c.hasGrid || src == dst {
+		return 1
+	}
+	a, b := c.coordsOf(src), c.coordsOf(dst)
+	h := 0
+	for d := 0; d < 3; d++ {
+		diff := a[d] - b[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		if c.periodic[d] && c.grid[d]-diff < diff {
+			diff = c.grid[d] - diff
+		}
+		h += diff
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func (c *Comm) coordsOf(rank int) [3]int {
+	nx, ny := c.grid[0], c.grid[1]
+	return [3]int{rank % nx, (rank / nx) % ny, rank / (nx * ny)}
+}
+
+func (c *Comm) rankOf(coords [3]int) int {
+	return coords[0] + c.grid[0]*(coords[1]+c.grid[1]*coords[2])
+}
+
+// Stats is the result of a completed Run: one profile and final virtual
+// time per rank, plus overall host wall time.
+type Stats struct {
+	Size         int
+	Wall         float64    // host wall seconds for the whole run
+	VirtualTimes []float64  // final netmodel clock per rank
+	Profiles     []*Profile // per-rank MPI profiles, indexed by rank
+}
+
+// MaxVirtualTime returns the slowest rank's modeled completion time, the
+// modeled makespan of the run.
+func (s *Stats) MaxVirtualTime() float64 {
+	max := 0.0
+	for _, t := range s.VirtualTimes {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Run spawns size ranks, each executing fn concurrently, and waits for all
+// of them. The first error (or recovered panic) aborts the run: all
+// mailboxes are closed so blocked ranks unwind promptly. On success the
+// returned Stats carries every rank's MPI profile and virtual clock.
+func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: size must be >= 1, got %d", size)
+	}
+	model := opts.Model
+	if model.Name == "" {
+		model = netmodel.Loopback
+	}
+	c := &Comm{size: size, model: model, tracer: opts.Tracer}
+	if opts.Grid != [3]int{} {
+		if opts.Grid[0]*opts.Grid[1]*opts.Grid[2] != size {
+			return nil, fmt.Errorf("comm: grid %v does not tile %d ranks", opts.Grid, size)
+		}
+		c.grid = opts.Grid
+		c.periodic = opts.Periodic
+		c.hasGrid = true
+	}
+	c.boxes = make([]*mailbox, size)
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+	}
+
+	stats := &Stats{
+		Size:         size,
+		VirtualTimes: make([]float64, size),
+		Profiles:     make([]*Profile, size),
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			for _, b := range c.boxes {
+				b.close()
+			}
+		})
+	}
+
+	start := time.Now()
+	for id := 0; id < size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{
+				comm:  c,
+				id:    id,
+				clock: netmodel.NewClock(model),
+				prof:  newProfile(id),
+			}
+			if opts.ComputeFactors != nil && id < len(opts.ComputeFactors) {
+				r.clock.SetComputeFactor(opts.ComputeFactors[id])
+			}
+			defer func() {
+				if p := recover(); p != nil {
+					if p == errAborted {
+						errs[id] = fmt.Errorf("comm: rank %d aborted: %w", id, errAborted)
+					} else {
+						errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
+					}
+					abort()
+				}
+				r.prof.appWall = time.Since(start).Seconds()
+				stats.VirtualTimes[id] = r.clock.Now()
+				stats.Profiles[id] = r.prof
+			}()
+			if err := fn(r); err != nil {
+				errs[id] = err
+				abort()
+			}
+		}(id)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start).Seconds()
+	// Report the root cause: a rank's own error or panic, not the
+	// secondary "aborted" unwinds it triggered in its peers.
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errAborted) {
+			aborted = err
+			continue
+		}
+		return nil, err
+	}
+	if aborted != nil {
+		return nil, aborted
+	}
+	return stats, nil
+}
+
+// RunSimple is Run with the loopback network model and no grid. It is the
+// form most tests use.
+func RunSimple(size int, fn func(*Rank) error) (*Stats, error) {
+	return Run(size, Options{}, fn)
+}

@@ -1,0 +1,218 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sub-communicators (MPI_Comm_split): a Group is a subset of the world's
+// ranks with its own dense numbering and collective operations. Nek-family
+// codes split communicators for row/column exchanges and for I/O
+// aggregation; the mini-app exposes the same capability.
+
+// groupTagBase opens a tag space disjoint from both user tags and world
+// collective tags; each color gets a 16-tag window.
+const groupTagBase = 1 << 26
+
+// maxGroupColor bounds color values so group tag windows stay disjoint.
+const maxGroupColor = 1 << 16
+
+// Group is one rank's membership in a split communicator.
+type Group struct {
+	r       *Rank
+	color   int
+	members []int // world ranks, ordered by (key, world rank)
+	myIdx   int
+}
+
+// Split partitions the world communicator by color (MPI_Comm_split):
+// ranks passing equal colors form a group, ordered by key (ties broken by
+// world rank). Collective over the world communicator. color must be in
+// [0, 65536).
+func (r *Rank) Split(color, key int) *Group {
+	if color < 0 || color >= maxGroupColor {
+		panic(fmt.Sprintf("comm: split color %d outside [0, %d)", color, maxGroupColor))
+	}
+	start := time.Now()
+	v0 := r.clock.Now()
+	// Learn everyone's (color, key): two integer allgathers.
+	colors := r.allgatherInt64Raw(int64(color), collTagBase+12)
+	keys := r.allgatherInt64Raw(int64(key), collTagBase+13)
+	type memberKey struct{ key, rank int }
+	var mine []memberKey
+	for rank, c := range colors {
+		if int(c) == color {
+			mine = append(mine, memberKey{int(keys[rank]), rank})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	g := &Group{r: r, color: color}
+	for idx, m := range mine {
+		g.members = append(g.members, m.rank)
+		if m.rank == r.id {
+			g.myIdx = idx
+		}
+	}
+	r.prof.record("MPI_Comm_split", time.Since(start).Seconds(), r.clock.Now()-v0, 0)
+	return g
+}
+
+// allgatherInt64Raw is the ring allgather of one int64 per rank without
+// profiling (used inside Split, which records itself as one MPI call).
+func (r *Rank) allgatherInt64Raw(v int64, tag int) []int64 {
+	p, id := r.comm.size, r.id
+	out := make([]int64, p)
+	out[id] = v
+	right, left := (id+1)%p, (id-1+p)%p
+	cur := id
+	for step := 0; step < p-1; step++ {
+		r.sendRaw(right, tag, nil, []int64{out[cur]})
+		m := r.recvRaw(left, tag)
+		cur = (cur - 1 + p) % p
+		out[cur] = m.ints[0]
+	}
+	return out
+}
+
+// Size returns the group's rank count.
+func (g *Group) Size() int { return len(g.members) }
+
+// ID returns this rank's index within the group.
+func (g *Group) ID() int { return g.myIdx }
+
+// WorldRank translates a group index to the world rank.
+func (g *Group) WorldRank(idx int) int {
+	if idx < 0 || idx >= len(g.members) {
+		panic(fmt.Sprintf("comm: group rank %d outside [0,%d)", idx, len(g.members)))
+	}
+	return g.members[idx]
+}
+
+// Members returns the world ranks of the group in group order.
+func (g *Group) Members() []int {
+	return append([]int(nil), g.members...)
+}
+
+// tag returns the group-scoped collective tag for operation slot op.
+func (g *Group) tag(op int) int {
+	return groupTagBase + g.color*16 + op
+}
+
+// Send sends within the group (dst is a group index). It is profiled as
+// a world point-to-point send.
+func (g *Group) Send(dst, tag int, data []float64) {
+	g.r.Send(g.WorldRank(dst), tag, data)
+}
+
+// Recv receives within the group (src is a group index, or AnySource).
+func (g *Group) Recv(src, tag int) []float64 {
+	w := AnySource
+	if src != AnySource {
+		w = g.WorldRank(src)
+	}
+	return g.r.Recv(w, tag)
+}
+
+// Barrier blocks until every group member has entered it (dissemination
+// over the group's members).
+func (g *Group) Barrier() {
+	done := g.r.collStart("MPI_Barrier")
+	p, id := len(g.members), g.myIdx
+	var bytes int64
+	for k := 1; k < p; k <<= 1 {
+		bytes += g.r.sendRaw(g.members[(id+k)%p], g.tag(0), nil, nil)
+		g.r.recvRaw(g.members[(id-k%p+p)%p], g.tag(0))
+	}
+	done(bytes)
+}
+
+// Bcast broadcasts from group root (binomial tree over the group).
+func (g *Group) Bcast(root int, data []float64) []float64 {
+	done := g.r.collStart("MPI_Bcast")
+	p, id := len(g.members), g.myIdx
+	vr := (id - root + p) % p
+	var bytes int64
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := g.members[(id-mask+p)%p]
+			m := g.r.recvRaw(parent, g.tag(1))
+			data = m.data
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			bytes += g.r.sendRaw(g.members[(id+mask)%p], g.tag(1), data, nil)
+		}
+	}
+	done(bytes)
+	return data
+}
+
+// Allreduce combines data across the group (recursive doubling with a
+// fold for non-power-of-two group sizes), updating data in place.
+func (g *Group) Allreduce(op ReduceOp, data []float64) []float64 {
+	done := g.r.collStart("MPI_Allreduce")
+	p, id := len(g.members), g.myIdx
+	tag := g.tag(2)
+	var bytes int64
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	if id >= p2 {
+		bytes += g.r.sendRaw(g.members[id-p2], tag, data, nil)
+		m := g.r.recvRaw(g.members[id-p2], tag)
+		copy(data, m.data)
+		done(bytes)
+		return data
+	}
+	if id < rem {
+		m := g.r.recvRaw(g.members[id+p2], tag)
+		op.combine(data, m.data)
+	}
+	for mask := 1; mask < p2; mask <<= 1 {
+		partner := g.members[id^mask]
+		bytes += g.r.sendRaw(partner, tag, data, nil)
+		m := g.r.recvRaw(partner, tag)
+		op.combine(data, m.data)
+	}
+	if id < rem {
+		bytes += g.r.sendRaw(g.members[id+p2], tag, data, nil)
+	}
+	done(bytes)
+	return data
+}
+
+// Allgather concatenates each member's fixed-size contribution in group
+// order on every member (ring over the group).
+func (g *Group) Allgather(data []float64) []float64 {
+	done := g.r.collStart("MPI_Allgather")
+	p, id := len(g.members), g.myIdx
+	n := len(data)
+	tag := g.tag(3)
+	out := make([]float64, n*p)
+	copy(out[id*n:], data)
+	var bytes int64
+	right, left := g.members[(id+1)%p], g.members[(id-1+p)%p]
+	cur := id
+	for step := 0; step < p-1; step++ {
+		chunk := make([]float64, n)
+		copy(chunk, out[cur*n:(cur+1)*n])
+		bytes += g.r.sendRaw(right, tag, chunk, nil)
+		m := g.r.recvRaw(left, tag)
+		cur = (cur - 1 + p) % p
+		copy(out[cur*n:], m.data)
+	}
+	done(bytes)
+	return out
+}

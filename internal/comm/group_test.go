@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	const p = 7
+	_, err := RunSimple(p, func(r *Rank) error {
+		g := r.Split(r.ID()%2, r.ID())
+		wantSize := p / 2
+		if r.ID()%2 == 0 {
+			wantSize = (p + 1) / 2
+		}
+		if g.Size() != wantSize {
+			t.Errorf("rank %d group size %d, want %d", r.ID(), g.Size(), wantSize)
+		}
+		// Members are the ranks of my parity, ascending (key = world
+		// rank).
+		for i, w := range g.Members() {
+			if w%2 != r.ID()%2 {
+				t.Errorf("rank %d group contains wrong-parity member %d", r.ID(), w)
+			}
+			if g.WorldRank(i) != w {
+				t.Errorf("WorldRank mismatch at %d", i)
+			}
+		}
+		if g.WorldRank(g.ID()) != r.ID() {
+			t.Errorf("rank %d: my group index maps to %d", r.ID(), g.WorldRank(g.ID()))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersGroup(t *testing.T) {
+	const p = 4
+	_, err := RunSimple(p, func(r *Rank) error {
+		// Reverse ordering via descending keys.
+		g := r.Split(0, p-r.ID())
+		if g.ID() != p-1-r.ID() {
+			t.Errorf("rank %d got group index %d, want %d", r.ID(), g.ID(), p-1-r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllreducePerColor(t *testing.T) {
+	const p = 9 // three colors of three
+	_, err := RunSimple(p, func(r *Rank) error {
+		color := r.ID() / 3
+		g := r.Split(color, r.ID())
+		sum := g.Allreduce(OpSum, []float64{float64(r.ID())})
+		want := float64(3*color*3 + 3) // sum of the three ids in the color
+		// ids are 3c, 3c+1, 3c+2 -> sum = 9c + 3
+		want = float64(9*color + 3)
+		if sum[0] != want {
+			t.Errorf("rank %d color %d: group sum %v, want %v", r.ID(), color, sum[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllreduceNonPowerOfTwo(t *testing.T) {
+	const p = 10 // one group of 10 (non power of two)
+	_, err := RunSimple(p, func(r *Rank) error {
+		g := r.Split(0, r.ID())
+		got := g.Allreduce(OpMax, []float64{float64(r.ID())})
+		if got[0] != float64(p-1) {
+			t.Errorf("group max = %v", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBcast(t *testing.T) {
+	const p = 8
+	_, err := RunSimple(p, func(r *Rank) error {
+		g := r.Split(r.ID()%2, r.ID())
+		var in []float64
+		if g.ID() == 1 { // second member of each parity group
+			in = []float64{float64(100 + r.ID()%2)}
+		}
+		got := g.Bcast(1, in)
+		want := float64(100 + r.ID()%2)
+		if got[0] != want {
+			t.Errorf("rank %d bcast got %v, want %v", r.ID(), got[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllgather(t *testing.T) {
+	const p = 6
+	_, err := RunSimple(p, func(r *Rank) error {
+		g := r.Split(r.ID()%3, r.ID())
+		out := g.Allgather([]float64{float64(r.ID())})
+		if len(out) != g.Size() {
+			t.Errorf("allgather size %d", len(out))
+		}
+		for i, v := range out {
+			if int(v) != g.WorldRank(i) {
+				t.Errorf("slot %d = %v, want %d", i, v, g.WorldRank(i))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBarrierAndP2P(t *testing.T) {
+	const p = 6
+	_, err := RunSimple(p, func(r *Rank) error {
+		g := r.Split(r.ID()%2, r.ID())
+		g.Barrier()
+		// Ring send within the group.
+		next := (g.ID() + 1) % g.Size()
+		prev := (g.ID() - 1 + g.Size()) % g.Size()
+		g.Send(next, 42, []float64{float64(g.ID())})
+		got := g.Recv(prev, 42)
+		if got[0] != float64(prev) {
+			t.Errorf("group ring got %v, want %v", got[0], prev)
+		}
+		g.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentGroupCollectivesDontCross(t *testing.T) {
+	// Two groups run different collectives at the same time; the values
+	// must stay separated (disjoint tag windows per color).
+	const p = 8
+	_, err := RunSimple(p, func(r *Rank) error {
+		color := r.ID() % 2
+		g := r.Split(color, r.ID())
+		for iter := 0; iter < 10; iter++ {
+			v := g.Allreduce(OpSum, []float64{float64(color + 1)})
+			want := float64((color + 1) * g.Size())
+			if math.Abs(v[0]-want) > 1e-12 {
+				t.Errorf("iter %d color %d: sum %v, want %v", iter, color, v[0], want)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRejectsBadColor(t *testing.T) {
+	_, err := RunSimple(1, func(r *Rank) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative color must panic")
+			}
+		}()
+		r.Split(-1, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRecordedAsMPICall(t *testing.T) {
+	stats, err := RunSimple(2, func(r *Rank) error {
+		r.Split(0, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats.AggregateSites() {
+		if s.Op == "MPI_Comm_split" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("split missing from MPI profile")
+	}
+}

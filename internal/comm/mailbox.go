@@ -1,0 +1,118 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+)
+
+// errAborted is panicked out of blocking operations when the run is torn
+// down after another rank failed; Run recovers it.
+var errAborted = errors.New("comm: run aborted")
+
+// message is the unit moved between ranks. Payloads are float64 and int64
+// slices (the two element types the mini-app moves); either may be nil.
+type message struct {
+	src, tag int
+	data     []float64
+	ints     []int64
+	arrival  float64 // virtual arrival time under the network model
+}
+
+func (m *message) bytes() int64 {
+	return 8 * int64(len(m.data)+len(m.ints))
+}
+
+// mailbox is one rank's receive queue: an unbounded FIFO with MPI-style
+// (source, tag) matching. FIFO scan order gives the MPI non-overtaking
+// guarantee per (source, tag) pair.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func match(m *message, src, tag int) bool {
+	return (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
+}
+
+// put deposits a message; it never blocks (eager-send semantics).
+func (b *mailbox) put(m *message) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return // run is being torn down; drop silently
+	}
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take removes and returns the first queued message matching (src, tag),
+// blocking until one arrives. It panics with errAborted if the mailbox is
+// closed while waiting.
+func (b *mailbox) take(src, tag int) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if m := b.removeLocked(src, tag); m != nil {
+			return m
+		}
+		if b.closed {
+			panic(errAborted)
+		}
+		b.cond.Wait()
+	}
+}
+
+// tryTake is take without blocking; it returns nil when no message
+// matches.
+func (b *mailbox) tryTake(src, tag int) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		panic(errAborted)
+	}
+	return b.removeLocked(src, tag)
+}
+
+// peek blocks until a matching message is queued and returns it without
+// removing it (MPI_Probe).
+func (b *mailbox) peek(src, tag int) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for _, m := range b.queue {
+			if match(m, src, tag) {
+				return m
+			}
+		}
+		if b.closed {
+			panic(errAborted)
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) removeLocked(src, tag int) *message {
+	for i, m := range b.queue {
+		if match(m, src, tag) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

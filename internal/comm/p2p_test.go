@@ -1,0 +1,348 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 7, []float64{1, 2, 3})
+			return nil
+		}
+		got := r.Recv(0, 7)
+		if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+			t.Errorf("rank 1 got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBufferReusable(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			buf := []float64{42}
+			r.Send(1, 0, buf)
+			buf[0] = -1  // must not affect the message (eager copy)
+			r.Recv(1, 1) // wait until receiver checked
+			return nil
+		}
+		got := r.Recv(0, 0)
+		if got[0] != 42 {
+			t.Errorf("eager send did not copy: got %v", got[0])
+		}
+		r.Send(0, 1, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 10, []float64{10})
+			r.Send(1, 20, []float64{20})
+			return nil
+		}
+		// Receive out of send order, selected by tag.
+		if got := r.Recv(0, 20); got[0] != 20 {
+			t.Errorf("tag 20 delivered %v", got[0])
+		}
+		if got := r.Recv(0, 10); got[0] != 10 {
+			t.Errorf("tag 10 delivered %v", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertaking(t *testing.T) {
+	const n = 50
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < n; i++ {
+				r.Send(1, 3, []float64{float64(i)})
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if got := r.Recv(0, 3); got[0] != float64(i) {
+				t.Errorf("message %d overtaken by %v", i, got[0])
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	_, err := RunSimple(4, func(r *Rank) error {
+		if r.ID() != 0 {
+			r.Send(0, r.ID()*100, []float64{float64(r.ID())})
+			return nil
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 3; i++ {
+			data, _, from := r.RecvMsg(AnySource, AnyTag)
+			if data[0] != float64(from) {
+				t.Errorf("payload %v does not identify sender %d", data[0], from)
+			}
+			seen[from] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("expected 3 distinct senders, saw %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntAndMixedPayloads(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.SendInts(1, 1, []int64{5, -6, 7})
+			r.SendMsg(1, 2, []float64{1.5}, []int64{9})
+			return nil
+		}
+		if got := r.RecvInts(0, 1); !reflect.DeepEqual(got, []int64{5, -6, 7}) {
+			t.Errorf("ints = %v", got)
+		}
+		d, is, _ := r.RecvMsg(0, 2)
+		if d[0] != 1.5 || is[0] != 9 {
+			t.Errorf("mixed = %v %v", d, is)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		other := 1 - r.ID()
+		got := r.Sendrecv(other, 5, []float64{float64(r.ID())}, other, 5)
+		if got[0] != float64(other) {
+			t.Errorf("rank %d got %v", r.ID(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 9, []float64{1, 2, 3, 4})
+			return nil
+		}
+		src, tag, bytes := r.Probe(AnySource, AnyTag)
+		if src != 0 || tag != 9 || bytes != 32 {
+			t.Errorf("probe = (%d,%d,%d), want (0,9,32)", src, tag, bytes)
+		}
+		// Probe must not consume: the receive still works.
+		if got := r.Recv(0, 9); len(got) != 4 {
+			t.Errorf("after probe, recv got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvBeforeSend(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Irecv(1, 4)
+			data, _ := req.Wait()
+			if data[0] != 11 {
+				t.Errorf("irecv got %v", data)
+			}
+			if req.Source() != 1 {
+				t.Errorf("source = %d", req.Source())
+			}
+			return nil
+		}
+		r.Send(0, 4, []float64{11})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendWaitAll(t *testing.T) {
+	_, err := RunSimple(3, func(r *Rank) error {
+		if r.ID() == 0 {
+			var reqs []*Request
+			for dst := 1; dst < 3; dst++ {
+				reqs = append(reqs, r.Isend(dst, 0, []float64{float64(dst)}))
+			}
+			for dst := 1; dst < 3; dst++ {
+				reqs = append(reqs, r.Irecv(dst, 1))
+			}
+			r.WaitAll(reqs...)
+			return nil
+		}
+		if got := r.Recv(0, 0); got[0] != float64(r.ID()) {
+			t.Errorf("rank %d got %v", r.ID(), got)
+		}
+		r.Send(0, 1, []float64{0})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Irecv(1, 2)
+			// Hand-shake so the message is definitely queued before Test.
+			r.Recv(1, 3)
+			if !req.Test() {
+				t.Error("Test should succeed once the message is queued")
+			}
+			data, _ := req.Wait()
+			if data[0] != 8 {
+				t.Errorf("got %v", data)
+			}
+			return nil
+		}
+		r.Send(0, 2, []float64{8})
+		r.Send(0, 3, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := RunSimple(4, func(r *Rank) error {
+		if r.ID() == 2 {
+			return sentinel
+		}
+		// Other ranks block forever; the abort must unwind them.
+		r.Recv(AnySource, 99)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunPanicRecovered(t *testing.T) {
+	_, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("kaboom")
+		}
+		r.Recv(1, 0)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if _, err := RunSimple(0, func(r *Rank) error { return nil }); err == nil {
+		t.Fatal("size 0 must be rejected")
+	}
+}
+
+func TestRunRejectsBadGrid(t *testing.T) {
+	_, err := Run(8, Options{Grid: [3]int{3, 3, 1}}, func(r *Rank) error { return nil })
+	if err == nil {
+		t.Fatal("grid not tiling the size must be rejected")
+	}
+}
+
+func TestVirtualClockAdvancesOnTraffic(t *testing.T) {
+	stats, err := RunSimple(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 0, make([]float64, 1000))
+		} else {
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver must be charged at least the full message cost.
+	min := stats.Profiles[1].MPIModeled()
+	if min <= 0 {
+		t.Fatal("receiver modeled time must be positive")
+	}
+	if stats.MaxVirtualTime() <= 0 {
+		t.Fatal("virtual makespan must be positive")
+	}
+}
+
+func TestModeledTimeOrdersBySize(t *testing.T) {
+	run := func(n int) float64 {
+		stats, err := Run(2, Options{Model: mustModel(t, "qdr-infiniband")}, func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, 0, make([]float64, n))
+			} else {
+				r.Recv(0, 0)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MaxVirtualTime()
+	}
+	if run(100000) <= run(10) {
+		t.Fatal("bigger messages must take longer modeled time")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	_, err := RunSimple(1, func(r *Rank) error {
+		r.Send(0, 0, []float64{3.5})
+		if got := r.Recv(0, 0); got[0] != 3.5 {
+			t.Errorf("self-send got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustModel(t *testing.T, name string) netmodel.Model {
+	t.Helper()
+	m, err := netmodel.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func init() { _ = math.Pi }

@@ -1,0 +1,148 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// Rank is one process of the communicator. Exactly one goroutine owns a
+// Rank; its methods must not be called concurrently.
+type Rank struct {
+	comm  *Comm
+	id    int
+	clock *netmodel.Clock
+	prof  *Profile
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Clock exposes the rank's virtual clock, so applications can account
+// modeled compute time (e.g. from the hw instruction model) between
+// communication phases.
+func (r *Rank) Clock() *netmodel.Clock { return r.clock }
+
+// SetSite labels subsequent MPI operations with a call-site name, the way
+// mpiP attributes time to call sites. An empty string clears the label.
+func (r *Rank) SetSite(site string) { r.prof.site = site }
+
+// Site returns the current call-site label.
+func (r *Rank) Site() string { return r.prof.site }
+
+// Profile returns the rank's MPI profile (for in-run inspection; Run also
+// returns all profiles in Stats).
+func (r *Rank) Profile() *Profile { return r.prof }
+
+func (r *Rank) checkPeer(peer int) {
+	if peer < 0 || peer >= r.comm.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", peer, r.comm.size))
+	}
+}
+
+// deliver copies the payload into a fresh message (eager-buffered send,
+// MPI_Bsend semantics: the caller's buffer is reusable immediately),
+// stamps its modeled arrival time, and drops it into the destination
+// mailbox.
+func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) *message {
+	m := &message{src: r.id, tag: tag}
+	if data != nil {
+		m.data = append([]float64(nil), data...)
+	}
+	if ints != nil {
+		m.ints = append([]int64(nil), ints...)
+	}
+	hops := r.comm.hops(r.id, dst)
+	sendVT := r.clock.Now()
+	m.arrival = r.clock.SendStamp(int(m.bytes()), hops)
+	r.comm.boxes[dst].put(m)
+	r.comm.trace(r.id, dst, tag, m.bytes(), hops, sendVT, m.arrival, r.prof.site)
+	return m
+}
+
+// receive finalizes a matched message: the virtual clock waits for its
+// modeled arrival and the modeled wait is reported for profiling.
+func (r *Rank) receive(m *message) float64 {
+	return r.clock.WaitUntil(m.arrival)
+}
+
+// Send sends a float64 payload to dst with the given tag. Sends are eager
+// and buffered: they never block and the caller's buffer is reusable as
+// soon as Send returns.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, tag, data, nil)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+}
+
+// SendInts sends an int64 payload.
+func (r *Rank) SendInts(dst, tag int, ints []int64) {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, tag, nil, ints)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+}
+
+// SendMsg sends a mixed payload of floats and ints in one message.
+func (r *Rank) SendMsg(dst, tag int, data []float64, ints []int64) {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, tag, data, ints)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its float payload. src may be AnySource and tag AnyTag.
+func (r *Rank) Recv(src, tag int) []float64 {
+	data, _, _ := r.recvCommon("MPI_Recv", src, tag)
+	return data
+}
+
+// RecvInts is Recv for int64 payloads.
+func (r *Rank) RecvInts(src, tag int) []int64 {
+	_, ints, _ := r.recvCommon("MPI_Recv", src, tag)
+	return ints
+}
+
+// RecvMsg receives a mixed payload, also reporting the sender (useful with
+// AnySource).
+func (r *Rank) RecvMsg(src, tag int) (data []float64, ints []int64, from int) {
+	return r.recvCommon("MPI_Recv", src, tag)
+}
+
+func (r *Rank) recvCommon(op string, src, tag int) ([]float64, []int64, int) {
+	if src != AnySource {
+		r.checkPeer(src)
+	}
+	start := time.Now()
+	m := r.comm.boxes[r.id].take(src, tag)
+	wait := r.receive(m)
+	r.prof.record(op, time.Since(start).Seconds(), wait, m.bytes())
+	return m.data, m.ints, m.src
+}
+
+// Sendrecv performs a simultaneous exchange with (possibly different)
+// peers, the pattern pairwise-exchange algorithms are built from.
+func (r *Rank) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, sendTag, data, nil)
+	in := r.comm.boxes[r.id].take(src, recvTag)
+	wait := r.receive(in)
+	r.prof.record("MPI_Sendrecv", time.Since(start).Seconds(), wait+r.comm.model.Alpha, m.bytes()+in.bytes())
+	return in.data
+}
+
+// Probe blocks until a message matching (src, tag) is available and
+// returns its source, tag and payload byte count without receiving it.
+func (r *Rank) Probe(src, tag int) (fromSrc, fromTag int, bytes int64) {
+	start := time.Now()
+	m := r.comm.boxes[r.id].peek(src, tag)
+	r.prof.record("MPI_Probe", time.Since(start).Seconds(), 0, 0)
+	return m.src, m.tag, m.bytes()
+}

@@ -1,0 +1,106 @@
+package comm
+
+import "time"
+
+// Request represents an in-flight nonblocking operation. Isend requests
+// complete immediately (sends are eager); Irecv requests complete in Wait,
+// which is where the mini-app — like its MPI parent — accumulates its
+// synchronization time (Figure 9's dominant MPI_Wait).
+type Request struct {
+	rank     *Rank
+	src, tag int
+	msg      *message
+	done     bool
+	isSend   bool
+}
+
+// Isend starts a nonblocking send of a float payload. The returned request
+// is already complete; Wait on it is free. See Send for buffer ownership.
+func (r *Rank) Isend(dst, tag int, data []float64) *Request {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, tag, data, nil)
+	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+	return &Request{rank: r, msg: m, done: true, isSend: true}
+}
+
+// IsendInts starts a nonblocking send of an int payload.
+func (r *Rank) IsendInts(dst, tag int, ints []int64) *Request {
+	r.checkPeer(dst)
+	start := time.Now()
+	m := r.deliver(dst, tag, nil, ints)
+	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+	return &Request{rank: r, msg: m, done: true, isSend: true}
+}
+
+// Irecv posts a nonblocking receive for a message from src with tag.
+// Matching happens lazily: Wait blocks until a matching message arrives.
+// src may be AnySource and tag AnyTag.
+func (r *Rank) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		r.checkPeer(src)
+	}
+	start := time.Now()
+	req := &Request{rank: r, src: src, tag: tag}
+	// Eagerly match an already-queued message so Test/Wait on a
+	// satisfied receive is cheap and ordering mirrors posting order.
+	if m := r.comm.boxes[r.id].tryTake(src, tag); m != nil {
+		req.msg = m
+		req.done = true
+	}
+	r.prof.record("MPI_Irecv", time.Since(start).Seconds(), 0, 0)
+	return req
+}
+
+// Test reports whether the request has completed, matching a queued
+// message if one is available, without blocking.
+func (req *Request) Test() bool {
+	if req.done {
+		return true
+	}
+	if m := req.rank.comm.boxes[req.rank.id].tryTake(req.src, req.tag); m != nil {
+		req.msg = m
+		req.done = true
+	}
+	return req.done
+}
+
+// Wait blocks until the request completes and returns the received
+// payloads (nil for send requests). The modeled wait time — how long the
+// message was still in flight under the network model — is charged to
+// MPI_Wait, reproducing the paper's synchronization accounting.
+func (req *Request) Wait() ([]float64, []int64) {
+	r := req.rank
+	start := time.Now()
+	if !req.done {
+		req.msg = r.comm.boxes[r.id].take(req.src, req.tag)
+		req.done = true
+	}
+	var wait float64
+	var bytes int64
+	if !req.isSend && req.msg != nil {
+		wait = r.receive(req.msg)
+		bytes = req.msg.bytes()
+	}
+	r.prof.record("MPI_Wait", time.Since(start).Seconds(), wait, bytes)
+	if req.msg == nil {
+		return nil, nil
+	}
+	return req.msg.data, req.msg.ints
+}
+
+// Source returns the sender of a completed receive request (meaningful
+// after Wait, particularly with AnySource).
+func (req *Request) Source() int {
+	if req.msg == nil {
+		return AnySource
+	}
+	return req.msg.src
+}
+
+// WaitAll completes every request in order (MPI_Waitall).
+func (r *Rank) WaitAll(reqs ...*Request) {
+	for _, req := range reqs {
+		req.Wait()
+	}
+}

@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Message tracing. Section VI of the paper motivates collecting "size,
+// frequency, average distance etc." of communication to build network
+// models for system simulation; a Tracer receives every wire-level
+// message (including the point-to-point rounds inside collectives) with
+// its modeled send and arrival times, producing exactly that dataset.
+
+// TraceEvent describes one message on the wire.
+type TraceEvent struct {
+	Src, Dst int
+	Tag      int
+	Bytes    int64
+	Hops     int     // switch-hop distance under the processor grid
+	SendVT   float64 // sender's virtual time at injection
+	ArriveVT float64 // modeled arrival time at the destination
+	Site     string  // sender's call-site label
+}
+
+// Tracer receives message events. Record is called from many rank
+// goroutines concurrently and must be safe for concurrent use.
+type Tracer interface {
+	Record(TraceEvent)
+}
+
+// MemTracer is an in-memory Tracer collecting every event.
+type MemTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Record implements Tracer.
+func (m *MemTracer) Record(e TraceEvent) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by send time (stable on
+// source rank for equal times).
+func (m *MemTracer) Events() []TraceEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]TraceEvent(nil), m.events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SendVT != out[j].SendVT {
+			return out[i].SendVT < out[j].SendVT
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (m *MemTracer) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Summary aggregates the trace for quick inspection.
+type TraceSummary struct {
+	Messages  int64
+	Bytes     int64
+	MeanBytes float64
+	MeanHops  float64
+	MaxHops   int
+}
+
+// Summarize computes aggregate statistics over the trace.
+func (m *MemTracer) Summarize() TraceSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s TraceSummary
+	var hops int64
+	for _, e := range m.events {
+		s.Messages++
+		s.Bytes += e.Bytes
+		hops += int64(e.Hops)
+		if e.Hops > s.MaxHops {
+			s.MaxHops = e.Hops
+		}
+	}
+	if s.Messages > 0 {
+		s.MeanBytes = float64(s.Bytes) / float64(s.Messages)
+		s.MeanHops = float64(hops) / float64(s.Messages)
+	}
+	return s
+}
+
+// WriteCSV dumps the trace in CSV form (one row per message), the input
+// format for offline network simulators.
+func (m *MemTracer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "src,dst,tag,bytes,hops,send_vt,arrive_vt,site"); err != nil {
+		return err
+	}
+	for _, e := range m.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.9f,%.9f,%s\n",
+			e.Src, e.Dst, e.Tag, e.Bytes, e.Hops, e.SendVT, e.ArriveVT, e.Site); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trace is the internal hook called on every wire message.
+func (c *Comm) trace(src, dst, tag int, bytes int64, hops int, sendVT, arriveVT float64, site string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Record(TraceEvent{
+		Src: src, Dst: dst, Tag: tag, Bytes: bytes, Hops: hops,
+		SendVT: sendVT, ArriveVT: arriveVT, Site: site,
+	})
+}

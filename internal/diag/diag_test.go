@@ -1,0 +1,166 @@
+package diag
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/solver"
+)
+
+func TestSummaryQuiescentFlow(t *testing.T) {
+	_, err := comm.RunSimple(2, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(2, 5, 2)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+			return solver.UniformState(1, 0, 0, 0, 1/solver.Gamma)
+		})
+		d := Compute(s)
+		volume := float64(cfg.ElemGrid[0] * cfg.ElemGrid[1] * cfg.ElemGrid[2])
+		if math.Abs(d.Mass-volume) > 1e-10 {
+			t.Errorf("mass = %v, want %v", d.Mass, volume)
+		}
+		if d.KineticEnergy != 0 {
+			t.Errorf("KE = %v at rest", d.KineticEnergy)
+		}
+		if d.MaxMach != 0 {
+			t.Errorf("Mach = %v at rest", d.MaxMach)
+		}
+		if d.MinDensity != 1 || d.MaxDensity != 1 {
+			t.Errorf("density range [%v, %v]", d.MinDensity, d.MaxDensity)
+		}
+		wantIE := volume * (1 / solver.Gamma) / (solver.Gamma - 1)
+		if math.Abs(d.InternalEnGy-wantIE) > 1e-9 {
+			t.Errorf("IE = %v, want %v", d.InternalEnGy, wantIE)
+		}
+		if d.String() == "" {
+			t.Error("empty summary string")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryKineticEnergy(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(1, 5, 2)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		const u0 = 0.3
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+			return solver.UniformState(2, u0, 0, 0, 1)
+		})
+		d := Compute(s)
+		volume := 8.0 // 2x2x2 elements of unit cube
+		want := 0.5 * 2 * u0 * u0 * volume
+		if math.Abs(d.KineticEnergy-want) > 1e-10 {
+			t.Errorf("KE = %v, want %v", d.KineticEnergy, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModalSpectrumOfLowModeField(t *testing.T) {
+	// A field linear in x has energy only in modes 0 and 1.
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(1, 6, 1)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+			u := solver.UniformState(1, 0, 0, 0, 1/solver.Gamma)
+			u[solver.IRho] = 1 + 0.1*(2*x-1) // linear in reference coords
+			return u
+		})
+		sp := ModalSpectrum(s, solver.IRho)
+		if len(sp) != 6 {
+			t.Fatalf("spectrum length %d", len(sp))
+		}
+		if sp[0] <= 0 || sp[1] <= 0 {
+			t.Errorf("modes 0/1 empty: %v", sp)
+		}
+		for k := 2; k < 6; k++ {
+			if sp[k] > 1e-20 {
+				t.Errorf("mode %d has spurious energy %v", k, sp[k])
+			}
+		}
+		if r := sp.DecayRatio(); r > 1e-15 {
+			t.Errorf("decay ratio %v for a resolved field", r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModalSpectrumFlagsRoughField(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(1, 5, 1)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		// Alternate the density pointwise: maximal high-mode content.
+		s.SetInitial(func(x, y, z float64) [solver.NumFields]float64 {
+			return solver.UniformState(1, 0, 0, 0, 1/solver.Gamma)
+		})
+		for i := range s.U[solver.IRho] {
+			if i%2 == 0 {
+				s.U[solver.IRho][i] += 0.1
+			} else {
+				s.U[solver.IRho][i] -= 0.1
+			}
+		}
+		sp := ModalSpectrum(s, solver.IRho)
+		if sp.DecayRatio() < 0.01 {
+			t.Errorf("rough field not flagged: decay ratio %v", sp.DecayRatio())
+		}
+		out := sp.Format()
+		if !strings.Contains(out, "mode  0") {
+			t.Errorf("format output missing modes:\n%s", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectrumConsistentAcrossRanks(t *testing.T) {
+	// The spectrum is a global quantity: every rank must compute the
+	// same values.
+	spectra := make([]Spectrum, 4)
+	_, err := comm.RunSimple(4, func(r *comm.Rank) error {
+		cfg := solver.DefaultConfig(4, 5, 1)
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+		spectra[r.ID()] = ModalSpectrum(s, solver.IRho)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk := 1; rk < 4; rk++ {
+		for k := range spectra[0] {
+			if math.Abs(spectra[rk][k]-spectra[0][k]) > 1e-12*(1+spectra[0][k]) {
+				t.Fatalf("rank %d spectrum differs at mode %d", rk, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package gs_test
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/gs"
+)
+
+// A gather-scatter combines every value sharing a global id across all
+// ranks. Here two ranks share id 7; their values are summed and written
+// back on both sides.
+func ExampleSetup() {
+	results := make([][]float64, 2)
+	_, _ = comm.RunSimple(2, func(r *comm.Rank) error {
+		var ids []int64
+		var vals []float64
+		if r.ID() == 0 {
+			ids = []int64{7, 1} // id 1 is private
+			vals = []float64{10, 5}
+		} else {
+			ids = []int64{7, 2}
+			vals = []float64{32, 8}
+		}
+		g := gs.Setup(r, ids)
+		g.OpWith(vals, comm.OpSum, gs.Pairwise)
+		results[r.ID()] = vals
+		return nil
+	})
+	fmt.Println(results[0], results[1])
+	// Output: [42 5] [42 8]
+}

@@ -1,0 +1,115 @@
+package gs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestOpFieldsMatchesPerFieldOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, p := range []int{1, 2, 4, 5} {
+		const k = 5
+		ids := make([][]int64, p)
+		fields := make([][][]float64, p) // [rank][field][slot]
+		for r := 0; r < p; r++ {
+			n := 15 + rng.Intn(10)
+			ids[r] = make([]int64, n)
+			for i := range ids[r] {
+				ids[r][i] = int64(rng.Intn(20))
+			}
+			fields[r] = make([][]float64, k)
+			for fi := range fields[r] {
+				fields[r][fi] = make([]float64, n)
+				for i := range fields[r][fi] {
+					fields[r][fi][i] = rng.NormFloat64()
+				}
+			}
+		}
+		for _, m := range Methods {
+			packed := make([][][]float64, p)
+			perField := make([][][]float64, p)
+			_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+				g := Setup(r, ids[r.ID()])
+				// Packed path.
+				fs := make([][]float64, k)
+				for fi := 0; fi < k; fi++ {
+					fs[fi] = append([]float64(nil), fields[r.ID()][fi]...)
+				}
+				g.OpFields(fs, comm.OpSum, m)
+				packed[r.ID()] = fs
+				// Per-field path.
+				ref := make([][]float64, k)
+				for fi := 0; fi < k; fi++ {
+					ref[fi] = append([]float64(nil), fields[r.ID()][fi]...)
+					g.OpWith(ref[fi], comm.OpSum, m)
+				}
+				perField[r.ID()] = ref
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d m=%v: %v", p, m, err)
+			}
+			for r := 0; r < p; r++ {
+				for fi := 0; fi < k; fi++ {
+					for i := range packed[r][fi] {
+						a, b := packed[r][fi][i], perField[r][fi][i]
+						if math.Abs(a-b) > 1e-10*(1+math.Abs(b)) {
+							t.Fatalf("p=%d m=%v rank=%d field=%d slot=%d: packed %v vs per-field %v",
+								p, m, r, fi, i, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOpFieldsMessageCount(t *testing.T) {
+	// The packed exchange must send one message per neighbor, not one
+	// per field per neighbor.
+	const p = 2
+	ids := []int64{1, 2, 3}
+	stats, err := comm.RunSimple(p, func(r *comm.Rank) error {
+		g := Setup(r, ids)
+		fs := make([][]float64, 5)
+		for fi := range fs {
+			fs[fi] = []float64{1, 2, 3}
+		}
+		g.OpFields(fs, comm.OpSum, Pairwise)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range stats.AggregateSites() {
+		if site.Op == "MPI_Isend" && site.Site == "gs_op" {
+			if site.Count != p { // one per rank
+				t.Fatalf("packed exchange sent %d messages, want %d", site.Count, p)
+			}
+			// 3 slots x 5 fields x 8 bytes per rank.
+			if site.Bytes != p*3*5*8 {
+				t.Fatalf("packed bytes = %d", site.Bytes)
+			}
+		}
+	}
+}
+
+func TestOpFieldsEmptyAndMismatch(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		g := Setup(r, []int64{1, 1})
+		g.OpFields(nil, comm.OpSum, Pairwise) // no-op
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch must panic")
+			}
+		}()
+		g.OpFields([][]float64{{1}}, comm.OpSum, Pairwise)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package gs
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// exchangePairwise implements the direct algorithm: one nonblocking send
+// of this rank's partials to every sharing neighbor, then a wait per
+// inbound message, combining as they arrive. This is the method CMT-bone
+// selects in the paper's Figure 7 — its face exchange touches at most six
+// neighbors, so direct messages beat any routed scheme.
+func (g *GS) exchangePairwise(op comm.ReduceOp) {
+	r := g.rank
+	// Snapshot and post all sends first (each neighbor must receive this
+	// rank's own partial, untouched by combining).
+	for _, nb := range g.neighbors {
+		buf := g.sendBufs[nb.rank]
+		for i, s := range nb.slots {
+			buf[i] = g.partial[s]
+		}
+		r.Isend(nb.rank, gsTag, buf)
+	}
+	// Post receives, then combine in completion order.
+	reqs := make([]*comm.Request, len(g.neighbors))
+	for i, nb := range g.neighbors {
+		reqs[i] = r.Irecv(nb.rank, gsTag)
+	}
+	for i, nb := range g.neighbors {
+		data, _ := reqs[i].Wait()
+		for j, s := range nb.slots {
+			g.partial[s] = combine2(op, g.partial[s], data[j])
+		}
+	}
+}
+
+// exchangeCrystal implements the crystal-router algorithm, "originally
+// developed for all-to-all communication in hypercubes" (paper,
+// Section VI): every (destination, id, value) tuple is routed through
+// ceil(log2 P) staged exchanges with hypercube partners, merging tuples
+// with equal (destination, id) along the way. It completes in log2 P
+// stages regardless of the neighbor pattern — which is exactly why it
+// loses to pairwise when the pattern is a sparse 6-neighbor stencil.
+func (g *GS) exchangeCrystal(op comm.ReduceOp) {
+	r := g.rank
+	p := r.Size()
+	me := r.ID()
+
+	type item struct {
+		dest int
+		id   int64
+		val  float64
+	}
+	var items []item
+	for _, nb := range g.neighbors {
+		for _, s := range nb.slots {
+			items = append(items, item{nb.rank, g.ids[s], g.partial[s]})
+		}
+	}
+
+	// Fold to a power of two: high ranks park their traffic on their
+	// low partner and proxy destinations dest >= p2 through dest - p2.
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+
+	sendItems := func(dst int, its []item) {
+		ints := make([]int64, 0, 2*len(its))
+		vals := make([]float64, 0, len(its))
+		for _, it := range its {
+			ints = append(ints, int64(it.dest), it.id)
+			vals = append(vals, it.val)
+		}
+		r.SendMsg(dst, gsTag+1, vals, ints)
+	}
+	recvItems := func(src int) []item {
+		vals, ints, _ := r.RecvMsg(src, gsTag+1)
+		its := make([]item, len(vals))
+		for i := range vals {
+			its[i] = item{dest: int(ints[2*i]), id: ints[2*i+1], val: vals[i]}
+		}
+		return its
+	}
+	// merge combines tuples with equal (dest, id), the per-stage message
+	// compaction that makes the router's volume manageable.
+	merge := func(its []item) []item {
+		sort.Slice(its, func(i, j int) bool {
+			if its[i].dest != its[j].dest {
+				return its[i].dest < its[j].dest
+			}
+			return its[i].id < its[j].id
+		})
+		out := its[:0]
+		for _, it := range its {
+			if n := len(out); n > 0 && out[n-1].dest == it.dest && out[n-1].id == it.id {
+				out[n-1].val = combine2(op, out[n-1].val, it.val)
+			} else {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+
+	if me >= p2 {
+		// Park everything on the low partner, then wait for the results
+		// routed back after the hypercube phase.
+		sendItems(me-p2, items)
+		items = recvItems(me - p2)
+	} else {
+		if me+p2 < p {
+			items = append(items, recvItems(me+p2)...)
+		}
+		proxy := func(dest int) int {
+			if dest >= p2 {
+				return dest - p2
+			}
+			return dest
+		}
+		// Hypercube stages.
+		for bit := 1; bit < p2; bit <<= 1 {
+			partner := me ^ bit
+			var keep, send []item
+			for _, it := range items {
+				if proxy(it.dest)&bit != me&bit {
+					send = append(send, it)
+				} else {
+					keep = append(keep, it)
+				}
+			}
+			send = merge(send)
+			sendItems(partner, send)
+			keep = append(keep, recvItems(partner)...)
+			items = merge(keep)
+		}
+		// Unfold: hand the high partner its traffic.
+		if me+p2 < p {
+			var mine, theirs []item
+			for _, it := range items {
+				if it.dest == me+p2 {
+					theirs = append(theirs, it)
+				} else {
+					mine = append(mine, it)
+				}
+			}
+			sendItems(me+p2, theirs)
+			items = mine
+		}
+	}
+
+	// Everything left is addressed to this rank: combine into partials.
+	for _, it := range items {
+		if s, ok := g.slotOf[it.id]; ok {
+			g.partial[s] = combine2(op, g.partial[s], it.val)
+		}
+	}
+}
+
+// exchangeAllReduce implements "all_reduce onto a big vector": partials
+// are scattered into a dense vector indexed by the global union of
+// active ids, padded with op's identity, and a single Allreduce combines
+// everything everywhere. Simple and pattern-oblivious — and, as the
+// paper finds, too expensive for either mini-app at this problem size.
+func (g *GS) exchangeAllReduce(op comm.ReduceOp) {
+	g.ensureBigVector()
+	big := make([]float64, g.bigLen)
+	id := identity(op)
+	for i := range big {
+		big[i] = id
+	}
+	for s, pos := range g.bigIdx {
+		if pos >= 0 {
+			big[pos] = g.partial[s]
+		}
+	}
+	g.rank.Allreduce(op, big)
+	for s, pos := range g.bigIdx {
+		if pos >= 0 {
+			g.partial[s] = big[pos]
+		}
+	}
+}

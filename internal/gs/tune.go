@@ -1,0 +1,94 @@
+package gs
+
+import (
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Timing summarizes one exchange method's measured cost across all ranks,
+// the rows of the paper's Figure 7 ("Time (avg) / (min) / (max) seconds").
+type Timing struct {
+	Method Method
+	// Host wall seconds per operation: mean/min/max of the per-rank
+	// averages over the tuning trials.
+	WallAvg, WallMin, WallMax float64
+	// Modeled network seconds per operation under the rank's netmodel,
+	// same statistics.
+	ModelAvg, ModelMin, ModelMax float64
+}
+
+// Tune times every exchange method trials times on scratch data and
+// selects the winner, which becomes the handle's default method. Like the
+// parent library's startup step ("three gather-scatter methods are
+// evaluated to determine which one performs the best for the given
+// problem setup and machine"), selection minimizes the worst rank's
+// time — a collective step is over only when its slowest rank finishes.
+// Tune is collective; every rank arrives at the same choice. The returned
+// timings are identical on every rank.
+func Tune(g *GS, trials int) (Method, []Timing) {
+	if trials < 1 {
+		trials = 1
+	}
+	r := g.rank
+	values := make([]float64, g.n)
+	for i := range values {
+		values[i] = float64(i%13) + 0.5
+	}
+	methods := g.FeasibleMethods()
+	timings := make([]Timing, 0, len(methods))
+	for _, m := range methods {
+		// Warm once (first-use allocations), then time.
+		g.OpWith(values, comm.OpSum, m)
+		r.Barrier()
+		v0 := r.Clock().Now()
+		start := time.Now()
+		for t := 0; t < trials; t++ {
+			g.OpWith(values, comm.OpSum, m)
+		}
+		wall := time.Since(start).Seconds() / float64(trials)
+		model := (r.Clock().Now() - v0) / float64(trials)
+
+		// Reduce the per-rank costs into cross-rank statistics every
+		// rank can see.
+		stats := []float64{wall, -wall, wall, model, -model, model}
+		// slots: [maxWall, -minWall, sumWall, maxModel, -minModel, sumModel]
+		r.Allreduce(comm.OpMax, stats[:2])
+		r.Allreduce(comm.OpSum, stats[2:3])
+		r.Allreduce(comm.OpMax, stats[3:5])
+		r.Allreduce(comm.OpSum, stats[5:6])
+		p := float64(r.Size())
+		timings = append(timings, Timing{
+			Method:   m,
+			WallMax:  stats[0],
+			WallMin:  -stats[1],
+			WallAvg:  stats[2] / p,
+			ModelMax: stats[3],
+			ModelMin: -stats[4],
+			ModelAvg: stats[5] / p,
+		})
+	}
+	best := timings[0]
+	for _, t := range timings[1:] {
+		if t.WallMax < best.WallMax {
+			best = t
+		}
+	}
+	g.method = best.Method
+	return best.Method, timings
+}
+
+// TuneModeled is Tune but selects on modeled network time instead of host
+// wall time — the right criterion when simulating a cluster-scale machine
+// from a laptop, where channel overheads would otherwise dominate.
+func TuneModeled(g *GS, trials int) (Method, []Timing) {
+	_, timings := Tune(g, trials)
+	best := timings[0]
+	for _, t := range timings[1:] {
+		if t.ModelMax < best.ModelMax {
+			best = t
+		}
+	}
+	g.method = best.Method
+	return best.Method, timings
+}

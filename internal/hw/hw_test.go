@@ -1,0 +1,137 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// derivOps builds the op count of one derivative direction over nel
+// elements at polynomial size n (matches sem's structural count).
+func derivOps(n, nel int64) Ops {
+	n3 := n * n * n
+	return Ops{
+		Mul:   n3 * n * nel,
+		Add:   n3 * n * nel,
+		Load:  2 * n3 * n * nel,
+		Store: n3 * nel,
+	}
+}
+
+func TestModelPositive(t *testing.T) {
+	ops := derivOps(5, 1563)
+	for _, m := range []Machine{Opteron6378, I52500, Generic} {
+		for _, tr := range []Traits{DudtOptimized, DudtBasic, DudrOptimized, DudrBasic, DudsOptimized, DudsBasic} {
+			e := Model(m, ops, tr)
+			if e.Instructions <= 0 || e.Cycles <= 0 || e.Seconds <= 0 {
+				t.Fatalf("%s: nonpositive estimate %+v", m.Name, e)
+			}
+		}
+	}
+}
+
+func TestPaperFigure5And6Shape(t *testing.T) {
+	// Paper workload: Nel = 1563, N = 5, 1000 timesteps on the Opteron
+	// 6378. The reproduction targets are the *ratios*:
+	//   - dudt basic / dudt optimized runtime = 11.3/4.89 = 2.31x
+	//   - dudr basic / dudr optimized = 8.89/8.60 = 1.03x
+	//   - instruction count of basic dudt ~2.8x the optimized one
+	//   - optimized dudt has fewest instructions of the three directions
+	ops := derivOps(5, 1563)
+	m := Opteron6378
+
+	dudtOpt := Model(m, ops, DudtOptimized)
+	dudtBas := Model(m, ops, DudtBasic)
+	dudrOpt := Model(m, ops, DudrOptimized)
+	dudrBas := Model(m, ops, DudrBasic)
+	dudsOpt := Model(m, ops, DudsOptimized)
+	dudsBas := Model(m, ops, DudsBasic)
+
+	// dudt gains a large factor from optimization.
+	speedup := dudtBas.Seconds / dudtOpt.Seconds
+	if speedup < 1.8 || speedup > 3.2 {
+		t.Fatalf("dudt optimization speedup = %.2fx, want ~2.3x", speedup)
+	}
+	// dudr gains almost nothing.
+	r := dudrBas.Seconds / dudrOpt.Seconds
+	if r < 1.0 || r > 1.2 {
+		t.Fatalf("dudr optimization speedup = %.2fx, want ~1.03x", r)
+	}
+	// duds gains nothing measurable.
+	s := dudsBas.Seconds / dudsOpt.Seconds
+	if s < 0.95 || s > 1.1 {
+		t.Fatalf("duds optimization speedup = %.2fx, want ~1.0x", s)
+	}
+	// Optimized dudt is the cheapest direction, in instructions and time
+	// (paper: 1.16e9 instructions vs 2.40e9 and 2.60e9).
+	if dudtOpt.Instructions >= dudrOpt.Instructions || dudtOpt.Instructions >= dudsOpt.Instructions {
+		t.Fatalf("optimized dudt should have the fewest instructions: %d vs %d / %d",
+			dudtOpt.Instructions, dudrOpt.Instructions, dudsOpt.Instructions)
+	}
+	// Basic dudt has far more instructions than optimized (scalar code).
+	ir := float64(dudtBas.Instructions) / float64(dudtOpt.Instructions)
+	if ir < 2.0 || ir > 3.5 {
+		t.Fatalf("dudt instruction inflation = %.2fx, want ~2.8x", ir)
+	}
+	// duds slowest among optimized kernels (paper: 9.45s > 8.60 > 4.89).
+	if !(dudsOpt.Seconds > dudrOpt.Seconds && dudrOpt.Seconds > dudtOpt.Seconds) {
+		t.Fatalf("optimized ordering wrong: duds=%.3g dudr=%.3g dudt=%.3g",
+			dudsOpt.Seconds, dudrOpt.Seconds, dudtOpt.Seconds)
+	}
+}
+
+func TestModelScalesLinearly(t *testing.T) {
+	one := Model(Opteron6378, derivOps(5, 100), DudtOptimized)
+	ten := Model(Opteron6378, derivOps(5, 1000), DudtOptimized)
+	ratio := float64(ten.Instructions) / float64(one.Instructions)
+	if ratio < 9.99 || ratio > 10.01 {
+		t.Fatalf("instruction scaling = %v, want 10", ratio)
+	}
+}
+
+func TestFasterClockFasterTime(t *testing.T) {
+	ops := derivOps(8, 50)
+	slow := Model(Generic, ops, DudrOptimized)
+	fast := Model(I52500, ops, DudrOptimized)
+	if fast.Seconds >= slow.Seconds {
+		t.Fatalf("i5 (%.3gs) should beat generic (%.3gs)", fast.Seconds, slow.Seconds)
+	}
+}
+
+func TestVectorizationReducesInstructions(t *testing.T) {
+	f := func(rawVec uint8) bool {
+		v := float64(rawVec%100) / 100
+		tr := Traits{VecFrac: v, OverheadPerFlop: 0.3, MissRate: 0}
+		base := Traits{VecFrac: 0, OverheadPerFlop: 0.3, MissRate: 0}
+		ops := derivOps(6, 10)
+		return Model(Opteron6378, ops, tr).Instructions <= Model(Opteron6378, ops, base).Instructions
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRateIncreasesCycles(t *testing.T) {
+	ops := derivOps(6, 10)
+	lo := Model(Opteron6378, ops, Traits{VecFrac: 0.5, OverheadPerFlop: 0.3, MissRate: 0.01})
+	hi := Model(Opteron6378, ops, Traits{VecFrac: 0.5, OverheadPerFlop: 0.3, MissRate: 0.3})
+	if hi.Cycles <= lo.Cycles {
+		t.Fatalf("higher miss rate must cost cycles: %d vs %d", hi.Cycles, lo.Cycles)
+	}
+	if hi.Instructions != lo.Instructions {
+		t.Fatal("miss rate must not change instruction count")
+	}
+}
+
+func TestTimeMatchesModel(t *testing.T) {
+	ops := derivOps(5, 100)
+	if Time(Opteron6378, ops, DudtOptimized) != Model(Opteron6378, ops, DudtOptimized).Seconds {
+		t.Fatal("Time must equal Model(...).Seconds")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Instructions: 10, Cycles: 20, Seconds: 1e-6}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}

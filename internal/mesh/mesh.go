@@ -1,0 +1,183 @@
+// Package mesh describes the structured computational domain of the
+// mini-app: a global box of hexahedral spectral elements distributed over
+// a 3D processor grid, exactly as in the paper's Figure 7 setup
+// (e.g. 25600 elements as 40 x 40 x 16 over an 8 x 8 x 4 processor grid,
+// 5 x 5 x 4 elements per rank). It provides element ownership, face
+// adjacency across ranks, and the two global numbering schemes the
+// gather-scatter library consumes: per-face-point ids for CMT-bone's
+// discontinuous Galerkin surface exchange, and continuous GLL-point ids
+// for Nekbone's direct-stiffness summation.
+package mesh
+
+import "fmt"
+
+// Box is the global domain description shared by all ranks.
+type Box struct {
+	ProcGrid [3]int  // ranks per direction
+	ElemGrid [3]int  // global elements per direction
+	N        int     // LGL points per direction per element
+	Periodic [3]bool // wraparound per direction
+}
+
+// NewBox validates and builds a Box. ElemGrid must be divisible by
+// ProcGrid in every direction (uniform distribution, as in the parent
+// code's box meshes).
+func NewBox(procGrid, elemGrid [3]int, n int, periodic [3]bool) (*Box, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mesh: need at least 2 points per direction, got %d", n)
+	}
+	for d := 0; d < 3; d++ {
+		if procGrid[d] < 1 || elemGrid[d] < 1 {
+			return nil, fmt.Errorf("mesh: grids must be positive, got proc %v elem %v", procGrid, elemGrid)
+		}
+		if elemGrid[d]%procGrid[d] != 0 {
+			return nil, fmt.Errorf("mesh: elements %v not divisible by processors %v in dim %d",
+				elemGrid, procGrid, d)
+		}
+	}
+	return &Box{ProcGrid: procGrid, ElemGrid: elemGrid, N: n, Periodic: periodic}, nil
+}
+
+// Ranks returns the total number of ranks the box is partitioned over.
+func (b *Box) Ranks() int { return b.ProcGrid[0] * b.ProcGrid[1] * b.ProcGrid[2] }
+
+// TotalElems returns the global element count.
+func (b *Box) TotalElems() int { return b.ElemGrid[0] * b.ElemGrid[1] * b.ElemGrid[2] }
+
+// ElemsPerRank returns the per-rank element counts per direction.
+func (b *Box) ElemsPerRank() [3]int {
+	return [3]int{
+		b.ElemGrid[0] / b.ProcGrid[0],
+		b.ElemGrid[1] / b.ProcGrid[1],
+		b.ElemGrid[2] / b.ProcGrid[2],
+	}
+}
+
+// LocalElems returns the number of elements owned by each rank.
+func (b *Box) LocalElems() int {
+	e := b.ElemsPerRank()
+	return e[0] * e[1] * e[2]
+}
+
+// RankCoords maps a rank id to processor-grid coordinates (x fastest).
+func (b *Box) RankCoords(rank int) [3]int {
+	nx, ny := b.ProcGrid[0], b.ProcGrid[1]
+	return [3]int{rank % nx, (rank / nx) % ny, rank / (nx * ny)}
+}
+
+// RankOf maps processor-grid coordinates to the rank id.
+func (b *Box) RankOf(coords [3]int) int {
+	return coords[0] + b.ProcGrid[0]*(coords[1]+b.ProcGrid[1]*coords[2])
+}
+
+// OwnerOfElem returns the rank owning the element at global element
+// coordinates g.
+func (b *Box) OwnerOfElem(g [3]int) int {
+	per := b.ElemsPerRank()
+	return b.RankOf([3]int{g[0] / per[0], g[1] / per[1], g[2] / per[2]})
+}
+
+// GlobalElemID linearizes global element coordinates (x fastest).
+func (b *Box) GlobalElemID(g [3]int) int64 {
+	return int64(g[0]) + int64(b.ElemGrid[0])*(int64(g[1])+int64(b.ElemGrid[1])*int64(g[2]))
+}
+
+// Local is one rank's view of the partition.
+type Local struct {
+	Box    *Box
+	Rank   int
+	Coords [3]int // processor-grid coordinates
+	Elems  [3]int // local elements per direction
+	First  [3]int // global coords of the first (lowest-corner) local element
+	Nel    int    // total local elements
+}
+
+// Partition returns rank's local view.
+func (b *Box) Partition(rank int) *Local {
+	if rank < 0 || rank >= b.Ranks() {
+		panic(fmt.Sprintf("mesh: rank %d outside [0,%d)", rank, b.Ranks()))
+	}
+	per := b.ElemsPerRank()
+	c := b.RankCoords(rank)
+	return &Local{
+		Box:    b,
+		Rank:   rank,
+		Coords: c,
+		Elems:  per,
+		First:  [3]int{c[0] * per[0], c[1] * per[1], c[2] * per[2]},
+		Nel:    per[0] * per[1] * per[2],
+	}
+}
+
+// ElemIndex linearizes local element coordinates (x fastest).
+func (l *Local) ElemIndex(ex, ey, ez int) int {
+	return ex + l.Elems[0]*(ey+l.Elems[1]*ez)
+}
+
+// ElemCoords inverts ElemIndex.
+func (l *Local) ElemCoords(e int) [3]int {
+	nx, ny := l.Elems[0], l.Elems[1]
+	return [3]int{e % nx, (e / nx) % ny, e / (nx * ny)}
+}
+
+// GlobalElemCoords returns the global coordinates of local element e.
+func (l *Local) GlobalElemCoords(e int) [3]int {
+	c := l.ElemCoords(e)
+	return [3]int{l.First[0] + c[0], l.First[1] + c[1], l.First[2] + c[2]}
+}
+
+// Neighbor describes the element on the other side of a face.
+type Neighbor struct {
+	Rank int // owning rank (may be the local rank)
+	Elem int // local element index on the owning rank
+}
+
+// FaceNeighbor returns the neighbor across face f (sem face numbering:
+// 2*dim + 0 for minus, 2*dim + 1 for plus) of local element e. ok is
+// false at a non-periodic domain boundary.
+func (l *Local) FaceNeighbor(e, f int) (nb Neighbor, ok bool) {
+	dim := f / 2
+	disp := -1
+	if f%2 == 1 {
+		disp = +1
+	}
+	g := l.GlobalElemCoords(e)
+	g[dim] += disp
+	n := l.Box.ElemGrid[dim]
+	if g[dim] < 0 || g[dim] >= n {
+		if !l.Box.Periodic[dim] {
+			return Neighbor{}, false
+		}
+		g[dim] = ((g[dim] % n) + n) % n
+	}
+	rank := l.Box.OwnerOfElem(g)
+	per := l.Box.ElemsPerRank()
+	lc := [3]int{g[0] % per[0], g[1] % per[1], g[2] % per[2]}
+	elem := lc[0] + per[0]*(lc[1]+per[1]*lc[2])
+	return Neighbor{Rank: rank, Elem: elem}, true
+}
+
+// NeighborRanks returns the distinct remote ranks this rank exchanges
+// faces with, in ascending order — the nearest-neighbor communication
+// stencil (up to 6 for a 3D box decomposition).
+func (l *Local) NeighborRanks() []int {
+	seen := map[int]bool{}
+	for e := 0; e < l.Nel; e++ {
+		for f := 0; f < 6; f++ {
+			if nb, ok := l.FaceNeighbor(e, f); ok && nb.Rank != l.Rank {
+				seen[nb.Rank] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	// Insertion sort: the list has at most 6 entries.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

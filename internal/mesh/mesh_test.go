@@ -1,0 +1,257 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustBox(t *testing.T, proc, elem [3]int, n int, periodic [3]bool) *Box {
+	t.Helper()
+	b, err := NewBox(proc, elem, n, periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox([3]int{2, 1, 1}, [3]int{3, 1, 1}, 4, [3]bool{}); err == nil {
+		t.Fatal("indivisible elements must be rejected")
+	}
+	if _, err := NewBox([3]int{1, 1, 1}, [3]int{1, 1, 1}, 1, [3]bool{}); err == nil {
+		t.Fatal("n < 2 must be rejected")
+	}
+	if _, err := NewBox([3]int{0, 1, 1}, [3]int{1, 1, 1}, 3, [3]bool{}); err == nil {
+		t.Fatal("zero proc grid must be rejected")
+	}
+}
+
+func TestPaperSetupCounts(t *testing.T) {
+	// Figure 7: 256 processors as 8x8x4, elements 40x40x16, local 5x5x4,
+	// 100 elements per process, 25600 total, N=10.
+	b := mustBox(t, [3]int{8, 8, 4}, [3]int{40, 40, 16}, 10, [3]bool{})
+	if b.Ranks() != 256 {
+		t.Fatalf("ranks = %d", b.Ranks())
+	}
+	if b.TotalElems() != 25600 {
+		t.Fatalf("total elems = %d", b.TotalElems())
+	}
+	if b.LocalElems() != 100 {
+		t.Fatalf("local elems = %d", b.LocalElems())
+	}
+	if b.ElemsPerRank() != [3]int{5, 5, 4} {
+		t.Fatalf("local distribution = %v", b.ElemsPerRank())
+	}
+}
+
+func TestRankCoordsRoundtrip(t *testing.T) {
+	b := mustBox(t, [3]int{3, 2, 4}, [3]int{3, 2, 4}, 3, [3]bool{})
+	for r := 0; r < b.Ranks(); r++ {
+		if b.RankOf(b.RankCoords(r)) != r {
+			t.Fatalf("rank coords roundtrip failed for %d", r)
+		}
+	}
+}
+
+func TestElemIndexRoundtrip(t *testing.T) {
+	b := mustBox(t, [3]int{2, 2, 2}, [3]int{4, 6, 2}, 3, [3]bool{})
+	l := b.Partition(5)
+	for e := 0; e < l.Nel; e++ {
+		c := l.ElemCoords(e)
+		if l.ElemIndex(c[0], c[1], c[2]) != e {
+			t.Fatalf("elem coords roundtrip failed for %d", e)
+		}
+	}
+}
+
+func TestEveryElementOwnedOnce(t *testing.T) {
+	b := mustBox(t, [3]int{2, 3, 2}, [3]int{4, 6, 4}, 3, [3]bool{})
+	owned := map[int64]int{}
+	for r := 0; r < b.Ranks(); r++ {
+		l := b.Partition(r)
+		for e := 0; e < l.Nel; e++ {
+			g := l.GlobalElemCoords(e)
+			if b.OwnerOfElem(g) != r {
+				t.Fatalf("element %v owned by %d but enumerated by %d", g, b.OwnerOfElem(g), r)
+			}
+			owned[b.GlobalElemID(g)]++
+		}
+	}
+	if len(owned) != b.TotalElems() {
+		t.Fatalf("enumerated %d distinct elements, want %d", len(owned), b.TotalElems())
+	}
+	for id, c := range owned {
+		if c != 1 {
+			t.Fatalf("element %d enumerated %d times", id, c)
+		}
+	}
+}
+
+func TestFaceNeighborSymmetry(t *testing.T) {
+	// If B is A's neighbor across face f, then A is B's neighbor across
+	// the opposite face.
+	for _, periodic := range [][3]bool{{false, false, false}, {true, true, true}, {true, false, true}} {
+		b := mustBox(t, [3]int{2, 2, 1}, [3]int{4, 4, 3}, 3, periodic)
+		for r := 0; r < b.Ranks(); r++ {
+			l := b.Partition(r)
+			for e := 0; e < l.Nel; e++ {
+				for f := 0; f < 6; f++ {
+					nb, ok := l.FaceNeighbor(e, f)
+					if !ok {
+						continue
+					}
+					ln := b.Partition(nb.Rank)
+					back, ok2 := ln.FaceNeighbor(nb.Elem, f^1)
+					if !ok2 {
+						t.Fatalf("periodic=%v: neighbor of neighbor missing (r%d e%d f%d)", periodic, r, e, f)
+					}
+					if back.Rank != r || back.Elem != e {
+						t.Fatalf("periodic=%v: asymmetric adjacency (r%d e%d f%d -> r%d e%d -> r%d e%d)",
+							periodic, r, e, f, nb.Rank, nb.Elem, back.Rank, back.Elem)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFaceNeighborBoundaries(t *testing.T) {
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{2, 2, 2}, 3, [3]bool{})
+	l := b.Partition(0)
+	// Element (0,0,0): minus faces are domain boundaries.
+	e := l.ElemIndex(0, 0, 0)
+	for _, f := range []int{0, 2, 4} {
+		if _, ok := l.FaceNeighbor(e, f); ok {
+			t.Fatalf("face %d of corner element should be a boundary", f)
+		}
+	}
+	for _, f := range []int{1, 3, 5} {
+		if _, ok := l.FaceNeighbor(e, f); !ok {
+			t.Fatalf("face %d of corner element should have a neighbor", f)
+		}
+	}
+}
+
+func TestFaceNeighborPeriodicWrap(t *testing.T) {
+	b := mustBox(t, [3]int{2, 1, 1}, [3]int{4, 1, 1}, 3, [3]bool{true, true, true})
+	l := b.Partition(0)
+	e := l.ElemIndex(0, 0, 0)
+	nb, ok := l.FaceNeighbor(e, 0) // x-minus from the first element wraps
+	if !ok {
+		t.Fatal("periodic wrap missing")
+	}
+	if nb.Rank != 1 {
+		t.Fatalf("wrapped neighbor rank = %d, want 1", nb.Rank)
+	}
+	lr := b.Partition(1)
+	if lr.GlobalElemCoords(nb.Elem) != [3]int{3, 0, 0} {
+		t.Fatalf("wrapped neighbor at %v", lr.GlobalElemCoords(nb.Elem))
+	}
+}
+
+func TestNeighborRanksStencil(t *testing.T) {
+	// Interior rank of a 3x3x3 processor grid has exactly 6 face
+	// neighbors; corner rank of a non-periodic grid has 3.
+	b := mustBox(t, [3]int{3, 3, 3}, [3]int{3, 3, 3}, 3, [3]bool{})
+	center := b.RankOf([3]int{1, 1, 1})
+	if got := b.Partition(center).NeighborRanks(); len(got) != 6 {
+		t.Fatalf("interior rank has %d neighbors: %v", len(got), got)
+	}
+	corner := b.RankOf([3]int{0, 0, 0})
+	if got := b.Partition(corner).NeighborRanks(); len(got) != 3 {
+		t.Fatalf("corner rank has %d neighbors: %v", len(got), got)
+	}
+	// Fully periodic: every rank has 6.
+	bp := mustBox(t, [3]int{3, 3, 3}, [3]int{3, 3, 3}, 3, [3]bool{true, true, true})
+	if got := bp.Partition(0).NeighborRanks(); len(got) != 6 {
+		t.Fatalf("periodic corner rank has %d neighbors: %v", len(got), got)
+	}
+}
+
+func TestNeighborRanksSorted(t *testing.T) {
+	b := mustBox(t, [3]int{2, 2, 2}, [3]int{2, 2, 2}, 3, [3]bool{true, true, true})
+	for r := 0; r < 8; r++ {
+		nbs := b.Partition(r).NeighborRanks()
+		for i := 1; i < len(nbs); i++ {
+			if nbs[i] <= nbs[i-1] {
+				t.Fatalf("rank %d neighbors not sorted: %v", r, nbs)
+			}
+		}
+	}
+}
+
+func TestPartitionPanicsOutOfRange(t *testing.T) {
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{1, 1, 1}, 3, [3]bool{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank must panic")
+		}
+	}()
+	b.Partition(1)
+}
+
+func TestOwnershipProperty(t *testing.T) {
+	// Property: for random valid boxes, every global element's owner
+	// enumerates it.
+	f := func(px, py, pz, mx, my, mz uint8) bool {
+		proc := [3]int{int(px)%3 + 1, int(py)%3 + 1, int(pz)%2 + 1}
+		elem := [3]int{proc[0] * (int(mx)%3 + 1), proc[1] * (int(my)%3 + 1), proc[2] * (int(mz)%3 + 1)}
+		b, err := NewBox(proc, elem, 3, [3]bool{})
+		if err != nil {
+			return false
+		}
+		count := 0
+		for r := 0; r < b.Ranks(); r++ {
+			count += b.Partition(r).Nel
+		}
+		return count == b.TotalElems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemsPerRankAndTotals(t *testing.T) {
+	b := mustBox(t, [3]int{2, 4, 1}, [3]int{6, 8, 5}, 4, [3]bool{})
+	if b.ElemsPerRank() != [3]int{3, 2, 5} {
+		t.Fatalf("per-rank = %v", b.ElemsPerRank())
+	}
+	if b.LocalElems() != 30 || b.TotalElems() != 240 || b.Ranks() != 8 {
+		t.Fatalf("counts: local=%d total=%d ranks=%d", b.LocalElems(), b.TotalElems(), b.Ranks())
+	}
+}
+
+func TestGlobalElemIDsUniqueAndDense(t *testing.T) {
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{3, 4, 2}, 3, [3]bool{})
+	seen := map[int64]bool{}
+	for z := 0; z < 2; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 3; x++ {
+				id := b.GlobalElemID([3]int{x, y, z})
+				if id < 0 || id >= int64(b.TotalElems()) {
+					t.Fatalf("id %d out of dense range", id)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate id %d", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+func TestPartialPeriodicityMixedFaces(t *testing.T) {
+	// Periodic only in y: x and z boundaries must be walls, y must wrap.
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{2, 2, 2}, 3, [3]bool{false, true, false})
+	l := b.Partition(0)
+	corner := l.ElemIndex(0, 0, 0)
+	if _, ok := l.FaceNeighbor(corner, 0); ok {
+		t.Fatal("x-minus should be a boundary")
+	}
+	if _, ok := l.FaceNeighbor(corner, 2); !ok {
+		t.Fatal("y-minus should wrap")
+	}
+	if _, ok := l.FaceNeighbor(corner, 4); ok {
+		t.Fatal("z-minus should be a boundary")
+	}
+}

@@ -1,0 +1,140 @@
+package mesh
+
+// Global numbering schemes. The gather-scatter library identifies shared
+// degrees of freedom purely by global integer ids (Nek5000's gs_setup
+// receives "index sets containing the global ids of the elements"); the
+// mesh produces those ids here.
+
+// numPlanes returns how many distinct face planes exist normal to dim:
+// one more than the element count on a bounded direction, exactly the
+// element count when the direction wraps.
+func (b *Box) numPlanes(dim int) int {
+	if b.Periodic[dim] {
+		return b.ElemGrid[dim]
+	}
+	return b.ElemGrid[dim] + 1
+}
+
+// faceBase returns the first global face id for faces normal to dim.
+func (b *Box) faceBase(dim int) int64 {
+	base := int64(0)
+	for d := 0; d < dim; d++ {
+		other := int64(1)
+		for o := 0; o < 3; o++ {
+			if o != d {
+				other *= int64(b.ElemGrid[o])
+			}
+		}
+		base += int64(b.numPlanes(d)) * other
+	}
+	return base
+}
+
+// globalFaceID returns the unique id of the mesh face normal to dim at
+// plane index plane, positioned at the element coordinates a, b in the
+// two remaining directions (lower dimension first).
+func (b *Box) globalFaceID(dim, plane, ca, cb int) int64 {
+	if b.Periodic[dim] {
+		plane %= b.ElemGrid[dim]
+	}
+	var na int
+	switch dim {
+	case 0:
+		na = b.ElemGrid[1]
+	default:
+		na = b.ElemGrid[0]
+	}
+	return b.faceBase(dim) + int64(plane) + int64(b.numPlanes(dim))*(int64(ca)+int64(na)*int64(cb))
+}
+
+// ElemFaceID returns the global face id of face f (sem numbering) of the
+// element at global coordinates g.
+func (b *Box) ElemFaceID(g [3]int, f int) int64 {
+	dim := f / 2
+	plane := g[dim]
+	if f%2 == 1 {
+		plane++
+	}
+	var ca, cb int
+	switch dim {
+	case 0:
+		ca, cb = g[1], g[2]
+	case 1:
+		ca, cb = g[0], g[2]
+	default:
+		ca, cb = g[0], g[1]
+	}
+	return b.globalFaceID(dim, plane, ca, cb)
+}
+
+// DGFaceIDs returns the global id of every face point of every local
+// element, in the same layout sem.Full2Face produces face data:
+// ids[e*6*N^2 + f*N^2 + (p + N*q)]. Two elements sharing a face see
+// identical ids for physically coincident points, so a gather-scatter
+// over these ids implements the DG nearest-neighbor surface exchange.
+// Face points on non-periodic domain boundaries get ids shared with no
+// other rank (the gather-scatter leaves them unchanged).
+func (l *Local) DGFaceIDs() []int64 {
+	n := l.Box.N
+	n2 := n * n
+	ids := make([]int64, l.Nel*6*n2)
+	for e := 0; e < l.Nel; e++ {
+		g := l.GlobalElemCoords(e)
+		for f := 0; f < 6; f++ {
+			fid := l.Box.ElemFaceID(g, f)
+			base := e*6*n2 + f*n2
+			for idx := 0; idx < n2; idx++ {
+				ids[base+idx] = fid*int64(n2) + int64(idx)
+			}
+		}
+	}
+	return ids
+}
+
+// pointsPerDir returns the global count of distinct GLL lattice points in
+// dimension d for the continuous numbering.
+func (b *Box) pointsPerDir(d int) int64 {
+	n := int64(b.ElemGrid[d]) * int64(b.N-1)
+	if !b.Periodic[d] {
+		n++
+	}
+	return n
+}
+
+// ContinuousIDs returns the global GLL-point id of every volume point of
+// every local element, layout ids[e*N^3 + (i + N*j + N^2*k)]. Points on
+// shared element faces, edges and corners receive the same id in every
+// element that touches them — the numbering Nekbone's direct-stiffness
+// summation (dssum) gathers over.
+func (l *Local) ContinuousIDs() []int64 {
+	n := l.Box.N
+	n3 := n * n * n
+	npx, npy := l.Box.pointsPerDir(0), l.Box.pointsPerDir(1)
+	ids := make([]int64, l.Nel*n3)
+	for e := 0; e < l.Nel; e++ {
+		g := l.GlobalElemCoords(e)
+		for k := 0; k < n; k++ {
+			gz := lattice(l.Box, 2, g[2], k)
+			for j := 0; j < n; j++ {
+				gy := lattice(l.Box, 1, g[1], j)
+				rowBase := e*n3 + n*j + n*n*k
+				for i := 0; i < n; i++ {
+					gx := lattice(l.Box, 0, g[0], i)
+					ids[rowBase+i] = gx + npx*(gy+npy*gz)
+				}
+			}
+		}
+	}
+	return ids
+}
+
+// lattice maps (global element coordinate, local point index) to the
+// global GLL lattice coordinate along dimension d, wrapping when the
+// dimension is periodic.
+func lattice(b *Box, d, elem, point int) int64 {
+	v := int64(elem)*int64(b.N-1) + int64(point)
+	if b.Periodic[d] {
+		v %= b.pointsPerDir(d)
+	}
+	return v
+}

@@ -1,0 +1,193 @@
+package mesh
+
+import (
+	"testing"
+)
+
+// gatherAllFaceIDs collects every rank's DG face ids keyed by
+// (rank, elem, face).
+func gatherAllFaceIDs(b *Box) map[int][]int64 {
+	out := map[int][]int64{}
+	for r := 0; r < b.Ranks(); r++ {
+		out[r] = b.Partition(r).DGFaceIDs()
+	}
+	return out
+}
+
+func TestDGFaceIDsSharedAcrossFaces(t *testing.T) {
+	for _, periodic := range [][3]bool{{false, false, false}, {true, true, true}} {
+		b := mustBox(t, [3]int{2, 2, 1}, [3]int{4, 2, 2}, 3, periodic)
+		n2 := b.N * b.N
+		all := gatherAllFaceIDs(b)
+		for r := 0; r < b.Ranks(); r++ {
+			l := b.Partition(r)
+			for e := 0; e < l.Nel; e++ {
+				for f := 0; f < 6; f++ {
+					nb, ok := l.FaceNeighbor(e, f)
+					if !ok {
+						continue
+					}
+					mine := all[r][e*6*n2+f*n2 : e*6*n2+(f+1)*n2]
+					theirBase := nb.Elem*6*n2 + (f^1)*n2
+					theirs := all[nb.Rank][theirBase : theirBase+n2]
+					for i := 0; i < n2; i++ {
+						if mine[i] != theirs[i] {
+							t.Fatalf("periodic=%v: face ids differ across shared face (r%d e%d f%d point %d): %d vs %d",
+								periodic, r, e, f, i, mine[i], theirs[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDGFaceIDsSharedByAtMostTwo(t *testing.T) {
+	b := mustBox(t, [3]int{2, 1, 1}, [3]int{2, 2, 2}, 3, [3]bool{true, false, false})
+	counts := map[int64]int{}
+	for _, ids := range gatherAllFaceIDs(b) {
+		for _, id := range ids {
+			counts[id]++
+		}
+	}
+	for id, c := range counts {
+		if c != 1 && c != 2 {
+			t.Fatalf("face point id %d appears %d times; faces join at most two elements", id, c)
+		}
+	}
+}
+
+func TestDGFaceIDsBoundaryUnshared(t *testing.T) {
+	// Non-periodic single-element domain: all 6 faces are boundaries, so
+	// every id must be unique.
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{1, 1, 1}, 4, [3]bool{})
+	ids := b.Partition(0).DGFaceIDs()
+	seen := map[int64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("boundary face id %d duplicated", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 6*16 {
+		t.Fatalf("expected 96 distinct ids, got %d", len(seen))
+	}
+}
+
+func TestDGFaceIDsPeriodicSingleElement(t *testing.T) {
+	// One element, periodic in x: its two x faces are the same physical
+	// face, so their ids must coincide pointwise.
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{1, 1, 1}, 3, [3]bool{true, false, false})
+	ids := b.Partition(0).DGFaceIDs()
+	n2 := 9
+	for i := 0; i < n2; i++ {
+		if ids[0*n2+i] != ids[1*n2+i] {
+			t.Fatalf("periodic wrap: x faces differ at %d: %d vs %d", i, ids[i], ids[n2+i])
+		}
+	}
+}
+
+func TestContinuousIDsMatchAcrossElements(t *testing.T) {
+	// Continuity: physically coincident points (faces, edges, corners)
+	// must share ids. Check by mapping ids back from independent
+	// enumeration of the global lattice.
+	b := mustBox(t, [3]int{2, 1, 1}, [3]int{2, 2, 1}, 3, [3]bool{})
+	n := b.N
+	type point struct{ x, y, z int64 }
+	byID := map[int64]point{}
+	for r := 0; r < b.Ranks(); r++ {
+		l := b.Partition(r)
+		ids := l.ContinuousIDs()
+		for e := 0; e < l.Nel; e++ {
+			g := l.GlobalElemCoords(e)
+			for k := 0; k < n; k++ {
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						id := ids[e*n*n*n+i+n*j+n*n*k]
+						p := point{
+							int64(g[0]*(n-1) + i),
+							int64(g[1]*(n-1) + j),
+							int64(g[2]*(n-1) + k),
+						}
+						if prev, ok := byID[id]; ok && prev != p {
+							t.Fatalf("id %d maps to two physical points %v and %v", id, prev, p)
+						}
+						byID[id] = p
+					}
+				}
+			}
+		}
+	}
+	// Count distinct lattice points: (2*(3-1)+1) * (2*2+1) * (1*2+1).
+	want := 5 * 5 * 3
+	if len(byID) != want {
+		t.Fatalf("distinct continuous ids = %d, want %d", len(byID), want)
+	}
+}
+
+func TestContinuousIDsPeriodicWrap(t *testing.T) {
+	// Periodic in x: the rightmost lattice plane is the leftmost plane.
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{2, 1, 1}, 3, [3]bool{true, false, false})
+	l := b.Partition(0)
+	ids := l.ContinuousIDs()
+	n := b.N
+	n3 := n * n * n
+	// Element 1's i = n-1 plane must equal element 0's i = 0 plane.
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			right := ids[1*n3+(n-1)+n*j+n*n*k]
+			left := ids[0*n3+0+n*j+n*n*k]
+			if right != left {
+				t.Fatalf("periodic continuous ids differ at (%d,%d): %d vs %d", j, k, right, left)
+			}
+		}
+	}
+}
+
+func TestContinuousIDsSharedFaceCount(t *testing.T) {
+	// In a 2x1x1 element mesh (one rank), ids on the shared face appear
+	// twice, interior ids once.
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{2, 1, 1}, 4, [3]bool{})
+	ids := b.Partition(0).ContinuousIDs()
+	counts := map[int64]int{}
+	for _, id := range ids {
+		counts[id]++
+	}
+	twice, once := 0, 0
+	for _, c := range counts {
+		switch c {
+		case 1:
+			once++
+		case 2:
+			twice++
+		default:
+			t.Fatalf("continuous id appears %d times in a 2-element mesh", c)
+		}
+	}
+	if twice != 16 { // the shared 4x4 face
+		t.Fatalf("shared ids = %d, want 16", twice)
+	}
+	if once != 2*64-2*16 {
+		t.Fatalf("unshared ids = %d", once)
+	}
+}
+
+func TestFaceIDRangesDisjointPerDimension(t *testing.T) {
+	b := mustBox(t, [3]int{1, 1, 1}, [3]int{3, 4, 5}, 3, [3]bool{})
+	// Faces normal to different dimensions must never collide.
+	seen := map[int64]int{}
+	for g0 := 0; g0 < 3; g0++ {
+		for g1 := 0; g1 < 4; g1++ {
+			for g2 := 0; g2 < 5; g2++ {
+				for f := 0; f < 6; f++ {
+					id := b.ElemFaceID([3]int{g0, g1, g2}, f)
+					dim := f / 2
+					if prev, ok := seen[id]; ok && prev != dim {
+						t.Fatalf("face id %d used by dims %d and %d", id, prev, dim)
+					}
+					seen[id] = dim
+				}
+			}
+		}
+	}
+}

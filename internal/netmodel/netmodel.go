@@ -1,0 +1,168 @@
+// Package netmodel provides an analytic communication cost model used to
+// attach cluster-scale network timings to the in-process message-passing
+// runtime in internal/comm.
+//
+// The real transport in this repository is a Go channel; its latency has
+// nothing to do with the Infiniband fabric the paper measured on. To
+// reproduce the paper's communication results (Figures 7-10) each rank
+// carries a virtual clock, and every message advances it according to a
+// classic alpha-beta (latency + inverse-bandwidth) model:
+//
+//	t(message of s bytes) = Alpha + Beta*s
+//
+// Senders stamp messages with their virtual send time plus the transfer
+// cost; receivers advance their clock to max(own, arrival). Computation
+// phases advance the clock by measured wall time scaled by a configurable
+// compute-speed factor. The result is a LogP-style simulation in which
+// synchronization effects — in particular the MPI_Wait skew the paper
+// highlights in Figure 9 — emerge naturally.
+package netmodel
+
+import "fmt"
+
+// Model holds the parameters of an alpha-beta network plus a relative
+// compute speed, describing one machine. The zero value is unusable; use
+// one of the presets or fill in every field.
+type Model struct {
+	// Name identifies the preset in reports.
+	Name string
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-byte transfer time in seconds (1/bandwidth).
+	Beta float64
+	// GammaCompute scales measured local compute wall time onto the
+	// modeled machine: modeled = measured * GammaCompute. 1.0 means the
+	// modeled machine computes exactly as fast as the host.
+	GammaCompute float64
+	// SwitchHops, when > 0, adds Alpha*hops extra latency per message
+	// based on the Manhattan distance between ranks in the processor
+	// grid; 0 disables distance sensitivity (flat network).
+	SwitchHops float64
+	// InjectionFactor is the fraction of a message's wire time the
+	// *sender* is stalled for (LogGP's gap-per-byte): 0 models a fully
+	// offloading NIC (sender pays only Alpha), 1 models a transport
+	// where the host CPU drives every byte. Affects how much
+	// communication a rank can overlap.
+	InjectionFactor float64
+}
+
+// Cost returns the modeled time to move size bytes over hops switch hops.
+func (m Model) Cost(size int, hops int) float64 {
+	c := m.Alpha + m.Beta*float64(size)
+	if m.SwitchHops > 0 && hops > 1 {
+		c += m.Alpha * m.SwitchHops * float64(hops-1)
+	}
+	return c
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	return fmt.Sprintf("%s{alpha=%.2es beta=%.2es/B}", m.Name, m.Alpha, m.Beta)
+}
+
+// Presets. Numbers are order-of-magnitude figures for the corresponding
+// hardware class; absolute values are not calibrated to any one machine,
+// only the ratios between message sizes and rank counts matter for the
+// reproduced experiment shapes.
+var (
+	// Loopback models in-process channel transport: negligible latency
+	// and very high bandwidth. Using it makes modeled time track wall
+	// time on the host.
+	Loopback = Model{Name: "loopback", Alpha: 2e-7, Beta: 1e-10, GammaCompute: 1}
+
+	// QDR approximates the Mellanox Infiniscale IV QDR fabric of the
+	// Compton testbed used in the paper: ~1.3us latency, ~3.2GB/s
+	// effective per-link bandwidth.
+	QDR = Model{Name: "qdr-infiniband", Alpha: 1.3e-6, Beta: 3.1e-10, GammaCompute: 1, SwitchHops: 0.1}
+
+	// GigE approximates commodity gigabit Ethernet with TCP: ~25us
+	// latency, ~110MB/s, and a host-driven (non-offloading) stack, so
+	// senders stall for most of the wire time.
+	GigE = Model{Name: "gige", Alpha: 2.5e-5, Beta: 9e-9, GammaCompute: 1, SwitchHops: 0.05, InjectionFactor: 0.7}
+
+	// Exascale is a notional future interconnect for the co-design
+	// studies the paper motivates: 400ns latency, 25GB/s.
+	Exascale = Model{Name: "notional-exascale", Alpha: 4e-7, Beta: 4e-11, GammaCompute: 0.2, SwitchHops: 0.02}
+)
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range []Model{Loopback, QDR, GigE, Exascale} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("netmodel: unknown model %q", name)
+}
+
+// Names lists the available preset names.
+func Names() []string {
+	return []string{Loopback.Name, QDR.Name, GigE.Name, Exascale.Name}
+}
+
+// Clock is a per-rank virtual clock. It is owned by exactly one rank
+// goroutine; no locking is required.
+type Clock struct {
+	model Model
+	now   float64
+	speed float64 // compute slowdown factor (1 = nominal)
+}
+
+// NewClock returns a clock at time zero running under model m.
+func NewClock(m Model) *Clock {
+	return &Clock{model: m, speed: 1}
+}
+
+// SetComputeFactor scales all subsequent compute advances: 1 is the
+// nominal machine, 1.5 models a rank running 50% slower (a straggler —
+// thermal throttling, a noisy neighbor, or simply more work). Stragglers
+// are how modeled runs reproduce the load-imbalance signature the paper
+// reads out of its Figure 8/9 MPI_Wait profiles.
+func (c *Clock) SetComputeFactor(f float64) {
+	if f > 0 {
+		c.speed = f
+	}
+}
+
+// Model returns the machine model the clock runs under.
+func (c *Clock) Model() Model { return c.model }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// AdvanceCompute accounts for local computation that took wall seconds of
+// host wall time.
+func (c *Clock) AdvanceCompute(wall float64) {
+	if wall > 0 {
+		c.now += wall * c.model.GammaCompute * c.speed
+	}
+}
+
+// Advance adds dt virtual seconds (dt >= 0) of modeled compute, scaled by
+// the rank's compute factor.
+func (c *Clock) Advance(dt float64) {
+	if dt > 0 {
+		c.now += dt * c.speed
+	}
+}
+
+// SendStamp returns the virtual arrival time of a message of size bytes
+// sent now over hops switch hops, and charges the sender the injection
+// overhead: one Alpha plus InjectionFactor of the wire time (LogGP's
+// per-byte gap); the remainder overlaps with further progress.
+func (c *Clock) SendStamp(size, hops int) float64 {
+	arrival := c.now + c.model.Cost(size, hops)
+	c.now += c.model.Alpha + c.model.InjectionFactor*c.model.Beta*float64(size)
+	return arrival
+}
+
+// WaitUntil advances the clock to at least t and reports the time spent
+// waiting (zero if t is in the past).
+func (c *Clock) WaitUntil(t float64) float64 {
+	if t <= c.now {
+		return 0
+	}
+	wait := t - c.now
+	c.now = t
+	return wait
+}

@@ -1,0 +1,75 @@
+package sem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestApplyDirMatchesDeriv(t *testing.T) {
+	ref := NewRef1D(7)
+	nel := 2
+	rng := rand.New(rand.NewSource(9))
+	u := randSlice(rng, nel*343)
+	for _, dir := range []Direction{DirR, DirS, DirT} {
+		viaDeriv := make([]float64, len(u))
+		viaApply := make([]float64, len(u))
+		Deriv(dir, Optimized, ref, u, viaDeriv, nel)
+		ApplyDir(dir, ref.D, ref.N, u, viaApply, nel)
+		for i := range u {
+			if math.Abs(viaDeriv[i]-viaApply[i]) > 1e-10*(1+math.Abs(viaDeriv[i])) {
+				t.Fatalf("%v: ApplyDir(D) != Deriv at %d", dir, i)
+			}
+		}
+	}
+}
+
+func TestApplyDirIdentity(t *testing.T) {
+	n := 5
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	rng := rand.New(rand.NewSource(10))
+	u := randSlice(rng, n*n*n)
+	out := make([]float64, len(u))
+	for _, dir := range []Direction{DirR, DirS, DirT} {
+		ApplyDir(dir, id, n, u, out, 1)
+		for i := range u {
+			if out[i] != u[i] {
+				t.Fatalf("%v: identity apply changed data at %d", dir, i)
+			}
+		}
+	}
+}
+
+func TestApplyDirTransposeAdjoint(t *testing.T) {
+	// <D u, v> = <u, D^T v> pointwise (unweighted dot), per direction.
+	ref := NewRef1D(6)
+	rng := rand.New(rand.NewSource(11))
+	u := randSlice(rng, 216)
+	v := randSlice(rng, 216)
+	du := make([]float64, 216)
+	dtv := make([]float64, 216)
+	for _, dir := range []Direction{DirR, DirS, DirT} {
+		ApplyDir(dir, ref.D, 6, u, du, 1)
+		ApplyDir(dir, ref.Dt, 6, v, dtv, 1)
+		lhs, rhs := 0.0, 0.0
+		for i := range du {
+			lhs += du[i] * v[i]
+			rhs += u[i] * dtv[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("%v: adjoint identity fails: %v vs %v", dir, lhs, rhs)
+		}
+	}
+}
+
+func TestApplyDirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short operator must panic")
+		}
+	}()
+	ApplyDir(DirR, make([]float64, 3), 4, make([]float64, 64), make([]float64, 64), 1)
+}

@@ -1,0 +1,114 @@
+package sem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussNodesKnown(t *testing.T) {
+	check := func(got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("len %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-13 {
+				t.Errorf("node %d = %.15f, want %.15f", i, got[i], want[i])
+			}
+		}
+	}
+	check(GaussNodes(1), []float64{0})
+	s3 := 1 / math.Sqrt(3)
+	check(GaussNodes(2), []float64{-s3, s3})
+	s35 := math.Sqrt(3.0 / 5.0)
+	check(GaussNodes(3), []float64{-s35, 0, s35})
+}
+
+func TestGaussNodesAreLegendreRoots(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		for _, xi := range GaussNodes(n) {
+			if p := LegendreP(n, xi); math.Abs(p) > 1e-12 {
+				t.Fatalf("n=%d: P_n(%v) = %v", n, xi, p)
+			}
+			if xi <= -1 || xi >= 1 {
+				t.Fatalf("n=%d: node %v outside (-1,1)", n, xi)
+			}
+		}
+	}
+}
+
+func TestGaussQuadratureExactness(t *testing.T) {
+	// n Gauss points are exact through degree 2n-1 — two orders beyond
+	// Lobatto with the same count.
+	for n := 1; n <= 10; n++ {
+		x := GaussNodes(n)
+		w := GaussWeights(x)
+		for p := 0; p <= 2*n-1; p++ {
+			got := 0.0
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(p))
+			}
+			want := 0.0
+			if p%2 == 0 {
+				want = 2 / float64(p+1)
+			}
+			if math.Abs(got-want) > 1e-11 {
+				t.Errorf("n=%d: integral of x^%d = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussWeightsPositiveSumTwo(t *testing.T) {
+	for n := 1; n <= 25; n++ {
+		w := GaussWeights(GaussNodes(n))
+		sum := 0.0
+		for _, v := range w {
+			if v <= 0 {
+				t.Fatalf("n=%d: nonpositive weight", n)
+			}
+			sum += v
+		}
+		if math.Abs(sum-2) > 1e-12 {
+			t.Fatalf("n=%d: weights sum %v", n, sum)
+		}
+	}
+}
+
+func TestRef1DGaussDealiasRoundTrip(t *testing.T) {
+	// Gauss fine points still interpolate polynomials exactly, so the
+	// round trip is lossless for representable fields.
+	ref := NewRef1DGauss(6)
+	if ref.NF != 9 {
+		t.Fatalf("NF = %d", ref.NF)
+	}
+	// Fine nodes must be interior (no endpoints): Gauss, not Lobatto.
+	if ref.XF[0] == -1 || ref.XF[ref.NF-1] == 1 {
+		t.Fatal("fine mesh contains endpoints; expected Gauss points")
+	}
+	u := fillField6(ref, func(x, y, z float64) float64 { return x*x*y - 3*z + x*y*z })
+	orig := append([]float64(nil), u...)
+	uf := make([]float64, ref.NF*ref.NF*ref.NF)
+	scratch := make([]float64, ref.DealiasScratchLen())
+	ref.DealiasRoundTrip(u, 1, uf, scratch)
+	for i := range u {
+		if math.Abs(u[i]-orig[i]) > 1e-9 {
+			t.Fatalf("Gauss dealias round trip changed data at %d", i)
+		}
+	}
+}
+
+// fillField6 is fillField for a single element (avoids reusing the other
+// helper's *Ref1D assumption about matching N).
+func fillField6(ref *Ref1D, f func(x, y, z float64) float64) []float64 {
+	n := ref.N
+	u := make([]float64, n*n*n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				u[i+n*j+n*n*k] = f(ref.X[i], ref.X[j], ref.X[k])
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,253 @@
+package sem
+
+import "fmt"
+
+// The derivative kernels. Within an element, u holds N^3 values indexed
+// u[i + N*j + N*N*k]; the partial derivatives with respect to the
+// reference coordinates (r,s,t) are tensor contractions with the 1D
+// derivative matrix D along the i, j, and k index respectively:
+//
+//	dudr[i,j,k] = sum_l D[i,l] u[l,j,k]
+//	duds[i,j,k] = sum_l D[j,l] u[i,l,k]
+//	dudt[i,j,k] = sum_l D[k,l] u[i,j,l]
+//
+// Each is an O(N^4) operation per element — the ax_ kernel that dominates
+// CMT-bone's execution profile (Figure 4). The Basic variants are plain
+// dot-product loop nests; the Optimized variants carry the loop fusion
+// and unrolling CMT-bone inherits from Nek5000 (Section V). As the paper
+// observes, the transformations help dudt greatly (contiguous plane
+// streaming replaces stride-N^2 dot products), help dudr only slightly
+// (its access is already contiguous), and cannot be applied to duds
+// (stride-N access pattern forbids fusion), so duds gets unrolling only.
+
+// KernelVariant selects the derivative-kernel loop structure.
+type KernelVariant int
+
+// Derivative kernel variants.
+const (
+	// Basic is the untransformed loop nest (paper Figure 6).
+	Basic KernelVariant = iota
+	// Optimized applies the loop fusion + unroll transformations
+	// inherited from Nek5000 (paper Figure 5).
+	Optimized
+)
+
+// String implements fmt.Stringer.
+func (v KernelVariant) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case Optimized:
+		return "optimized"
+	}
+	return fmt.Sprintf("KernelVariant(%d)", int(v))
+}
+
+// Direction names a reference coordinate.
+type Direction int
+
+// Reference coordinate directions.
+const (
+	DirR Direction = iota
+	DirS
+	DirT
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirR:
+		return "dudr"
+	case DirS:
+		return "duds"
+	case DirT:
+		return "dudt"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// derivOps is the structural cost of one direction's derivative for nel
+// elements: N^3 outputs, each a length-N dot product.
+func derivOps(n, nel int) OpCount {
+	n3 := int64(n) * int64(n) * int64(n)
+	per := OpCount{
+		Mul:   n3 * int64(n),
+		Add:   n3 * int64(n),
+		Load:  2 * n3 * int64(n),
+		Store: n3,
+	}
+	return per.Times(int64(nel))
+}
+
+// Deriv computes the derivative of u along dir into du for nel elements
+// of N^3 points each, using the selected kernel variant, and returns the
+// structural operation count. u and du must hold nel*N^3 values.
+func Deriv(dir Direction, v KernelVariant, ref *Ref1D, u, du []float64, nel int) OpCount {
+	n := ref.N
+	n3 := n * n * n
+	if len(u) < nel*n3 || len(du) < nel*n3 {
+		panic(fmt.Sprintf("sem: deriv needs %d values, got u=%d du=%d", nel*n3, len(u), len(du)))
+	}
+	for e := 0; e < nel; e++ {
+		ue := u[e*n3 : (e+1)*n3]
+		de := du[e*n3 : (e+1)*n3]
+		switch {
+		case dir == DirR && v == Basic:
+			dudrBasic(ref.D, n, ue, de)
+		case dir == DirR && v == Optimized:
+			dudrOpt(ref.D, n, ue, de)
+		case dir == DirS && v == Basic:
+			dudsBasic(ref.D, n, ue, de)
+		case dir == DirS && v == Optimized:
+			dudsOpt(ref.D, n, ue, de)
+		case dir == DirT && v == Basic:
+			dudtBasic(ref.D, n, ue, de)
+		case dir == DirT && v == Optimized:
+			dudtOpt(ref.D, n, ue, de)
+		}
+	}
+	return derivOps(n, nel)
+}
+
+// Grad3 computes all three reference-space derivatives of u.
+func Grad3(v KernelVariant, ref *Ref1D, u, ur, us, ut []float64, nel int) OpCount {
+	ops := Deriv(DirR, v, ref, u, ur, nel)
+	ops = ops.Plus(Deriv(DirS, v, ref, u, us, nel))
+	ops = ops.Plus(Deriv(DirT, v, ref, u, ut, nel))
+	return ops
+}
+
+// dudrBasic: naive dot products; u access is contiguous in l already.
+func dudrBasic(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			base := n*j + n2*k
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for l := 0; l < n; l++ {
+					s += d[i*n+l] * u[base+l]
+				}
+				du[base+i] = s
+			}
+		}
+	}
+}
+
+// dudrOpt: column-sliced with the reduction unrolled by four. The access
+// pattern is the same as basic (already unit stride), so the gain is the
+// modest unrolling win the paper reports (1.03x).
+func dudrOpt(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	n4 := n - n%4
+	for c := 0; c < n2; c++ {
+		uc := u[c*n : c*n+n]
+		dc := du[c*n : c*n+n]
+		for i := 0; i < n; i++ {
+			di := d[i*n : i*n+n]
+			var s0, s1, s2, s3 float64
+			for l := 0; l < n4; l += 4 {
+				s0 += di[l] * uc[l]
+				s1 += di[l+1] * uc[l+1]
+				s2 += di[l+2] * uc[l+2]
+				s3 += di[l+3] * uc[l+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for l := n4; l < n; l++ {
+				s += di[l] * uc[l]
+			}
+			dc[i] = s
+		}
+	}
+}
+
+// dudsBasic: naive dot products with stride-n access into u.
+func dudsBasic(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	for k := 0; k < n; k++ {
+		slab := n2 * k
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for l := 0; l < n; l++ {
+					s += d[j*n+l] * u[slab+i+n*l]
+				}
+				du[slab+i+n*j] = s
+			}
+		}
+	}
+}
+
+// dudsOpt: unrolling only — the stride-n access pattern forbids the
+// fusion transformation, which is exactly why the paper sees no
+// improvement for duds.
+func dudsOpt(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	n4 := n - n%4
+	for k := 0; k < n; k++ {
+		slab := n2 * k
+		for j := 0; j < n; j++ {
+			dj := d[j*n : j*n+n]
+			for i := 0; i < n; i++ {
+				col := slab + i
+				var s0, s1, s2, s3 float64
+				for l := 0; l < n4; l += 4 {
+					s0 += dj[l] * u[col+n*l]
+					s1 += dj[l+1] * u[col+n*(l+1)]
+					s2 += dj[l+2] * u[col+n*(l+2)]
+					s3 += dj[l+3] * u[col+n*(l+3)]
+				}
+				s := s0 + s1 + s2 + s3
+				for l := n4; l < n; l++ {
+					s += dj[l] * u[col+n*l]
+				}
+				du[slab+i+n*j] = s
+			}
+		}
+	}
+}
+
+// dudtBasic: naive dot products with stride-n^2 access — each inner
+// iteration touches a different plane, thrashing the cache.
+func dudtBasic(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for l := 0; l < n; l++ {
+					s += d[k*n+l] * u[i+n*j+n2*l]
+				}
+				du[i+n*j+n2*k] = s
+			}
+		}
+	}
+}
+
+// dudtOpt: fused plane streaming — output plane k accumulates scaled
+// input planes, all accesses unit stride. This is the transformation that
+// buys the paper's 2.31x.
+func dudtOpt(d []float64, n int, u, du []float64) {
+	n2 := n * n
+	m4 := n2 - n2%4
+	for k := 0; k < n; k++ {
+		dst := du[k*n2 : (k+1)*n2]
+		for i := range dst {
+			dst[i] = 0
+		}
+		dk := d[k*n : k*n+n]
+		for l := 0; l < n; l++ {
+			dkl := dk[l]
+			src := u[l*n2 : (l+1)*n2]
+			for i := 0; i < m4; i += 4 {
+				dst[i] += dkl * src[i]
+				dst[i+1] += dkl * src[i+1]
+				dst[i+2] += dkl * src[i+2]
+				dst[i+3] += dkl * src[i+3]
+			}
+			for i := m4; i < n2; i++ {
+				dst[i] += dkl * src[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package sem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-11
+
+func almost(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLegendreKnownValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		x, p float64
+	}{
+		{0, 0.3, 1},
+		{1, 0.3, 0.3},
+		{2, 0.5, (3*0.25 - 1) / 2},
+		{3, 0.5, (5*0.125 - 3*0.5) / 2},
+		{4, 1, 1},
+		{5, -1, -1},
+		{6, 1, 1},
+	}
+	for _, c := range cases {
+		if got := LegendreP(c.n, c.x); !almost(got, c.p, tol) {
+			t.Errorf("P_%d(%v) = %v, want %v", c.n, c.x, got, c.p)
+		}
+	}
+}
+
+func TestLegendreDerivativeMatchesFiniteDifference(t *testing.T) {
+	h := 1e-6
+	for n := 1; n <= 12; n++ {
+		for _, x := range []float64{-0.9, -0.3, 0.1, 0.7} {
+			_, dp := LegendrePD(n, x)
+			fd := (LegendreP(n, x+h) - LegendreP(n, x-h)) / (2 * h)
+			if !almost(dp, fd, 1e-4) {
+				t.Errorf("P'_%d(%v) = %v, finite difference %v", n, x, dp, fd)
+			}
+		}
+	}
+}
+
+func TestLegendreEndpointDerivative(t *testing.T) {
+	// P'_n(1) = n(n+1)/2 and P'_n(-1) = (-1)^(n-1) n(n+1)/2.
+	for n := 1; n <= 10; n++ {
+		want := float64(n) * float64(n+1) / 2
+		if _, dp := LegendrePD(n, 1); !almost(dp, want, tol) {
+			t.Errorf("P'_%d(1) = %v, want %v", n, dp, want)
+		}
+		wantNeg := want
+		if n%2 == 0 {
+			wantNeg = -want
+		}
+		if _, dp := LegendrePD(n, -1); !almost(dp, wantNeg, tol) {
+			t.Errorf("P'_%d(-1) = %v, want %v", n, dp, wantNeg)
+		}
+	}
+}
+
+func TestGLLNodesKnown(t *testing.T) {
+	check := func(got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("len %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if !almost(got[i], want[i], 1e-12) {
+				t.Errorf("node %d = %.15f, want %.15f", i, got[i], want[i])
+			}
+		}
+	}
+	check(GLLNodes(2), []float64{-1, 1})
+	check(GLLNodes(3), []float64{-1, 0, 1})
+	s5 := 1 / math.Sqrt(5)
+	check(GLLNodes(4), []float64{-1, -s5, s5, 1})
+	s37 := math.Sqrt(3.0 / 7.0)
+	check(GLLNodes(5), []float64{-1, -s37, 0, s37, 1})
+}
+
+func TestGLLNodesSortedSymmetric(t *testing.T) {
+	for n := 2; n <= 25; n++ {
+		x := GLLNodes(n)
+		if x[0] != -1 || x[n-1] != 1 {
+			t.Fatalf("n=%d endpoints %v %v", n, x[0], x[n-1])
+		}
+		for i := 1; i < n; i++ {
+			if x[i] <= x[i-1] {
+				t.Fatalf("n=%d nodes not increasing at %d: %v", n, i, x)
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			if !almost(x[i], -x[n-1-i], 1e-12) {
+				t.Fatalf("n=%d nodes not symmetric: %v vs %v", n, x[i], x[n-1-i])
+			}
+		}
+	}
+}
+
+func TestGLLNodesAreDerivativeRoots(t *testing.T) {
+	for n := 3; n <= 20; n++ {
+		x := GLLNodes(n)
+		for i := 1; i < n-1; i++ {
+			if _, dp := LegendrePD(n-1, x[i]); math.Abs(dp) > 1e-9 {
+				t.Errorf("n=%d: P'_{%d}(x[%d]=%v) = %v, want ~0", n, n-1, i, x[i], dp)
+			}
+		}
+	}
+}
+
+func TestGLLWeights(t *testing.T) {
+	// n=3 weights are 1/3, 4/3, 1/3.
+	w := GLLWeights(GLLNodes(3))
+	want := []float64{1.0 / 3, 4.0 / 3, 1.0 / 3}
+	for i := range w {
+		if !almost(w[i], want[i], tol) {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	for n := 2; n <= 25; n++ {
+		ws := GLLWeights(GLLNodes(n))
+		sum := 0.0
+		for _, v := range ws {
+			if v <= 0 {
+				t.Fatalf("n=%d nonpositive weight %v", n, v)
+			}
+			sum += v
+		}
+		if !almost(sum, 2, 1e-12) {
+			t.Errorf("n=%d weights sum to %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestGLLQuadratureExactness(t *testing.T) {
+	// LGL quadrature with n points is exact for degree <= 2n-3.
+	for n := 3; n <= 12; n++ {
+		x := GLLNodes(n)
+		w := GLLWeights(x)
+		for p := 0; p <= 2*n-3; p++ {
+			got := 0.0
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(p))
+			}
+			want := 0.0
+			if p%2 == 0 {
+				want = 2 / float64(p+1)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("n=%d: quadrature of x^%d = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestGLLPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GLLNodes(1) must panic")
+		}
+	}()
+	GLLNodes(1)
+}
+
+func TestDerivMatrixExactOnPolynomials(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		x := GLLNodes(n)
+		d := DerivMatrix(x)
+		for p := 0; p < n; p++ { // degree <= n-1 differentiates exactly
+			u := make([]float64, n)
+			for i := range u {
+				u[i] = math.Pow(x[i], float64(p))
+			}
+			for i := 0; i < n; i++ {
+				got := 0.0
+				for j := 0; j < n; j++ {
+					got += d[i*n+j] * u[j]
+				}
+				want := 0.0
+				if p > 0 {
+					want = float64(p) * math.Pow(x[i], float64(p-1))
+				}
+				if math.Abs(got-want) > 1e-8 {
+					t.Errorf("n=%d: (D x^%d)[%d] = %v, want %v", n, p, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDerivMatrixRowSumsZero(t *testing.T) {
+	// D of a constant is zero, i.e. every row sums to zero.
+	for n := 2; n <= 20; n++ {
+		d := DerivMatrix(GLLNodes(n))
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += d[i*n+j]
+			}
+			if math.Abs(s) > 1e-10 {
+				t.Errorf("n=%d row %d sums to %v", n, i, s)
+			}
+		}
+	}
+}
+
+func TestInterpMatrixReproducesPolynomials(t *testing.T) {
+	x := GLLNodes(6)
+	y := GLLNodes(9)
+	j := InterpMatrix(x, y)
+	for p := 0; p < 6; p++ {
+		u := make([]float64, len(x))
+		for i := range u {
+			u[i] = math.Pow(x[i], float64(p))
+		}
+		for k := range y {
+			got := 0.0
+			for i := range x {
+				got += j[k*len(x)+i] * u[i]
+			}
+			want := math.Pow(y[k], float64(p))
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("interp x^%d at y[%d]: %v want %v", p, k, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpMatrixNodeHit(t *testing.T) {
+	x := GLLNodes(5)
+	j := InterpMatrix(x, x) // target == source: identity
+	for k := 0; k < 5; k++ {
+		for i := 0; i < 5; i++ {
+			want := 0.0
+			if i == k {
+				want = 1
+			}
+			if math.Abs(j[k*5+i]-want) > 1e-13 {
+				t.Errorf("J[%d,%d] = %v, want %v", k, i, j[k*5+i], want)
+			}
+		}
+	}
+}
+
+func TestInterpMatrixRowsSumToOne(t *testing.T) {
+	// Interpolating the constant 1 must give 1 at every target point.
+	f := func(seed int64) bool {
+		n := int(seed%7+7) % 7
+		if n < 3 {
+			n += 3
+		}
+		x := GLLNodes(n)
+		y := GLLNodes(n + 3)
+		j := InterpMatrix(x, y)
+		for k := range y {
+			s := 0.0
+			for i := range x {
+				s += j[k*n+i]
+			}
+			if math.Abs(s-1) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLagrangeWeightsReproducePolynomials(t *testing.T) {
+	x := GLLNodes(7)
+	for _, xi := range []float64{-0.95, -0.3, 0.123, 0.77} {
+		w := LagrangeWeights(x, xi)
+		for p := 0; p < 7; p++ {
+			got := 0.0
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(p))
+			}
+			want := math.Pow(xi, float64(p))
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("x^%d at %v: %v want %v", p, xi, got, want)
+			}
+		}
+	}
+}
+
+func TestLagrangeWeightsNodeHit(t *testing.T) {
+	x := GLLNodes(5)
+	w := LagrangeWeights(x, x[2])
+	for i, v := range w {
+		want := 0.0
+		if i == 2 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("node hit weights wrong: %v", w)
+		}
+	}
+}
+
+func TestLagrangeWeightsPartitionOfUnity(t *testing.T) {
+	x := GLLNodes(9)
+	for xi := -1.0; xi <= 1.0; xi += 0.13 {
+		w := LagrangeWeights(x, xi)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-11 {
+			t.Fatalf("weights at %v sum to %v", xi, sum)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	at := Transpose(a, 2, 3)
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("transpose = %v", at)
+		}
+	}
+	// Involution property.
+	back := Transpose(at, 3, 2)
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatalf("double transpose = %v", back)
+		}
+	}
+}
+
+func TestNewRef1D(t *testing.T) {
+	ref := NewRef1D(8)
+	if ref.N != 8 || ref.NF != 12 {
+		t.Fatalf("N=%d NF=%d, want 8, 12", ref.N, ref.NF)
+	}
+	if len(ref.D) != 64 || len(ref.Dt) != 64 {
+		t.Fatalf("derivative matrix sizes %d %d", len(ref.D), len(ref.Dt))
+	}
+	if len(ref.JF) != 12*8 || len(ref.JB) != 8*12 {
+		t.Fatalf("interp sizes %d %d", len(ref.JF), len(ref.JB))
+	}
+	// Dt really is the transpose of D.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if ref.D[i*8+j] != ref.Dt[j*8+i] {
+				t.Fatal("Dt is not the transpose of D")
+			}
+		}
+	}
+}

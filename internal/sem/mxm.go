@@ -1,0 +1,154 @@
+package sem
+
+import "fmt"
+
+// The mxm kernel: C = A * B with A (m x k), B (k x n), C (m x n), all
+// row-major. Nek5000 — and therefore CMT-nek and CMT-bone — spends the
+// bulk of its time in exactly these small matrix products (N between 5
+// and 25), and the paper's Section V studies how loop transformations
+// (fusion/reordering and unrolling) change their performance. Each
+// variant below corresponds to one point in that study.
+
+// MxMVariant selects a loop structure for the mxm kernel.
+type MxMVariant int
+
+// Kernel variants, from untransformed to fully transformed.
+const (
+	// MxMBasic is the textbook i-j-l triple loop with a dot-product
+	// inner loop; B is accessed with stride n, defeating vectorization.
+	MxMBasic MxMVariant = iota
+	// MxMUnroll is MxMBasic with the inner (reduction) loop unrolled by
+	// four, the paper's "loop unroll" transformation alone.
+	MxMUnroll
+	// MxMFused reorders to i-l-j so the inner loop streams contiguously
+	// over rows of B and C (the "loop fusion" transformation: the store
+	// loop is fused with the accumulate loop).
+	MxMFused
+	// MxMFusedUnroll is MxMFused with the inner loop unrolled by four —
+	// the transformation set CMT-bone inherits from Nek5000.
+	MxMFusedUnroll
+	// MxMSpecialized uses a fully k-unrolled kernel (Nek5000's
+	// hand-specialized mxm44 family) when k is in [4, 8], falling back
+	// to MxMFusedUnroll otherwise.
+	MxMSpecialized
+)
+
+// String implements fmt.Stringer.
+func (v MxMVariant) String() string {
+	switch v {
+	case MxMBasic:
+		return "basic"
+	case MxMUnroll:
+		return "unroll"
+	case MxMFused:
+		return "fused"
+	case MxMFusedUnroll:
+		return "fused+unroll"
+	case MxMSpecialized:
+		return "specialized"
+	}
+	return fmt.Sprintf("MxMVariant(%d)", int(v))
+}
+
+// MxMVariants lists all kernel variants, for sweeps and ablations.
+var MxMVariants = []MxMVariant{MxMBasic, MxMUnroll, MxMFused, MxMFusedUnroll, MxMSpecialized}
+
+// MxM computes c = a*b with the selected variant and returns the
+// structural operation count.
+func MxM(v MxMVariant, a []float64, m int, b []float64, k int, c []float64, n int) OpCount {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("sem: mxm shape mismatch m=%d k=%d n=%d (len a=%d b=%d c=%d)",
+			m, k, n, len(a), len(b), len(c)))
+	}
+	switch v {
+	case MxMBasic:
+		mxmBasic(a, m, b, k, c, n)
+	case MxMUnroll:
+		mxmUnroll(a, m, b, k, c, n)
+	case MxMFused:
+		mxmFused(a, m, b, k, c, n)
+	case MxMFusedUnroll:
+		mxmFusedUnroll(a, m, b, k, c, n)
+	case MxMSpecialized:
+		if !mxmSpecialized(a, m, b, k, c, n) {
+			mxmFusedUnroll(a, m, b, k, c, n)
+		}
+	default:
+		panic(fmt.Sprintf("sem: unknown mxm variant %d", int(v)))
+	}
+	return mxmOps(m, n, k)
+}
+
+func mxmBasic(a []float64, m int, b []float64, k int, c []float64, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func mxmUnroll(a []float64, m int, b []float64, k int, c []float64, n int) {
+	k4 := k - k%4
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			var s0, s1, s2, s3 float64
+			for l := 0; l < k4; l += 4 {
+				s0 += ai[l] * b[l*n+j]
+				s1 += ai[l+1] * b[(l+1)*n+j]
+				s2 += ai[l+2] * b[(l+2)*n+j]
+				s3 += ai[l+3] * b[(l+3)*n+j]
+			}
+			s := s0 + s1 + s2 + s3
+			for l := k4; l < k; l++ {
+				s += ai[l] * b[l*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func mxmFused(a []float64, m int, b []float64, k int, c []float64, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a[i*k : i*k+k]
+		for l := 0; l < k; l++ {
+			ail := ai[l]
+			bl := b[l*n : l*n+n]
+			for j, blj := range bl {
+				ci[j] += ail * blj
+			}
+		}
+	}
+}
+
+func mxmFusedUnroll(a []float64, m int, b []float64, k int, c []float64, n int) {
+	n4 := n - n%4
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a[i*k : i*k+k]
+		for l := 0; l < k; l++ {
+			ail := ai[l]
+			bl := b[l*n : l*n+n]
+			for j := 0; j < n4; j += 4 {
+				ci[j] += ail * bl[j]
+				ci[j+1] += ail * bl[j+1]
+				ci[j+2] += ail * bl[j+2]
+				ci[j+3] += ail * bl[j+3]
+			}
+			for j := n4; j < n; j++ {
+				ci[j] += ail * bl[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sem
+
+// Fixed-size mxm specializations. Nek5000 ships hand-specialized mxm
+// routines (mxm44 and friends) whose reduction loop is fully unrolled for
+// the small k values spectral elements produce; with k known at compile
+// time the scale factors stay in registers and the compiler emits
+// straight-line code. MxMSpecialized routes shapes with k in [4, 8] to
+// these kernels and falls back to the fused+unrolled generic otherwise.
+
+// mxmSpecialized dispatches on k; reports false when no specialization
+// exists.
+func mxmSpecialized(a []float64, m int, b []float64, k int, c []float64, n int) bool {
+	switch k {
+	case 4:
+		mxmK4(a, m, b, c, n)
+	case 5:
+		mxmK5(a, m, b, c, n)
+	case 6:
+		mxmK6(a, m, b, c, n)
+	case 7:
+		mxmK7(a, m, b, c, n)
+	case 8:
+		mxmK8(a, m, b, c, n)
+	default:
+		return false
+	}
+	return true
+}
+
+func mxmK4(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3 := a[i*4], a[i*4+1], a[i*4+2], a[i*4+3]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+}
+
+func mxmK5(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3, b4 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n], b[4*n:5*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3, a4 := a[i*5], a[i*5+1], a[i*5+2], a[i*5+3], a[i*5+4]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] + a4*b4[j]
+		}
+	}
+}
+
+func mxmK6(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2 := b[0:n], b[n:2*n], b[2*n:3*n]
+	b3, b4, b5 := b[3*n:4*n], b[4*n:5*n], b[5*n:6*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2 := a[i*6], a[i*6+1], a[i*6+2]
+		a3, a4, a5 := a[i*6+3], a[i*6+4], a[i*6+5]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] + a4*b4[j] + a5*b5[j]
+		}
+	}
+}
+
+func mxmK7(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	b4, b5, b6 := b[4*n:5*n], b[5*n:6*n], b[6*n:7*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3 := a[i*7], a[i*7+1], a[i*7+2], a[i*7+3]
+		a4, a5, a6 := a[i*7+4], a[i*7+5], a[i*7+6]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+				a4*b4[j] + a5*b5[j] + a6*b6[j]
+		}
+	}
+}
+
+func mxmK8(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	b4, b5, b6, b7 := b[4*n:5*n], b[5*n:6*n], b[6*n:7*n], b[7*n:8*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3 := a[i*8], a[i*8+1], a[i*8+2], a[i*8+3]
+		a4, a5, a6, a7 := a[i*8+4], a[i*8+5], a[i*8+6], a[i*8+7]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+				a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sem
+
+// OpCount tallies the arithmetic and memory operations a kernel performs.
+// The counts are exact structural counts derived from loop bounds, not
+// sampled; internal/hw converts them into modeled instruction and cycle
+// totals, standing in for the PAPI counters of the paper's Figures 5-6.
+type OpCount struct {
+	Mul   int64 // floating multiplies
+	Add   int64 // floating adds
+	Load  int64 // float64 loads
+	Store int64 // float64 stores
+}
+
+// Flops returns the total floating-point operations.
+func (o OpCount) Flops() int64 { return o.Mul + o.Add }
+
+// Plus returns the element-wise sum of two counts.
+func (o OpCount) Plus(p OpCount) OpCount {
+	return OpCount{
+		Mul:   o.Mul + p.Mul,
+		Add:   o.Add + p.Add,
+		Load:  o.Load + p.Load,
+		Store: o.Store + p.Store,
+	}
+}
+
+// Times returns the count scaled by n (e.g. per-element count times the
+// number of elements).
+func (o OpCount) Times(n int64) OpCount {
+	return OpCount{Mul: o.Mul * n, Add: o.Add * n, Load: o.Load * n, Store: o.Store * n}
+}
+
+// mxmOps is the structural operation count of one (m x k) * (k x n)
+// matrix multiply: each output element takes k multiplies, k-1 adds (we
+// count k for the fused accumulate), 2k loads and one store.
+func mxmOps(m, n, k int) OpCount {
+	mn := int64(m) * int64(n)
+	return OpCount{
+		Mul:   mn * int64(k),
+		Add:   mn * int64(k),
+		Load:  2 * mn * int64(k),
+		Store: mn,
+	}
+}

@@ -1,0 +1,143 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func closedBoxConfig(p, n int) Config {
+	cfg := DefaultConfig(p, n, 2)
+	cfg.Periodic = [3]bool{false, false, false}
+	cfg.BC = BCWall
+	cfg.CFL = 0.25
+	return cfg
+}
+
+func TestWallBCSealsTheBox(t *testing.T) {
+	// A pulse in a closed box: mass and total energy must be conserved
+	// (no flux through walls) even though the box is not periodic.
+	_, err := comm.RunSimple(2, func(r *comm.Rank) error {
+		cfg := closedBoxConfig(2, 6)
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(GaussianPulse(
+			float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+			0.15, 0.5))
+		m0 := s.TotalMass()
+		e0 := s.Integrate(IEnergy)
+		s.Run(12)
+		if m1 := s.TotalMass(); math.Abs(m1-m0) > 1e-10*math.Abs(m0) {
+			t.Errorf("wall box leaked mass: %v -> %v", m0, m1)
+		}
+		if e1 := s.Integrate(IEnergy); math.Abs(e1-e0) > 1e-10*math.Abs(e0) {
+			t.Errorf("wall box leaked energy: %v -> %v", e0, e1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallBCReflectsPulse(t *testing.T) {
+	// Freestream boundaries let the wave leave (energy decays); walls
+	// keep it inside (kinetic energy persists after the transit time).
+	kineticAfter := func(bc BoundaryCondition) float64 {
+		var ke float64
+		_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+			cfg := DefaultConfig(1, 6, 2)
+			cfg.Periodic = [3]bool{false, false, false}
+			cfg.BC = bc
+			cfg.CFL = 0.25
+			s, err := New(r, cfg)
+			if err != nil {
+				return err
+			}
+			s.SetInitial(GaussianPulse(1, 1, 1, 0.2, 0.4))
+			// Run past several box-crossing times (box side 2, c ~ 1).
+			elapsed := 0.0
+			for elapsed < 6 {
+				dt := s.StableDt()
+				s.Step(dt)
+				elapsed += dt
+			}
+			// Kinetic energy proxy.
+			for i := range s.U[IRho] {
+				mom2 := s.U[IMomX][i]*s.U[IMomX][i] +
+					s.U[IMomY][i]*s.U[IMomY][i] +
+					s.U[IMomZ][i]*s.U[IMomZ][i]
+				ke += mom2 / s.U[IRho][i]
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ke
+	}
+	open := kineticAfter(BCFreestream)
+	closed := kineticAfter(BCWall)
+	if closed <= open {
+		t.Fatalf("walls should retain energy: open %v vs closed %v", open, closed)
+	}
+}
+
+func TestWallBCQuiescentSteady(t *testing.T) {
+	// A box of still gas with walls must stay exactly still.
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := closedBoxConfig(1, 5)
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		want := UniformState(1, 0, 0, 0, 1/Gamma)
+		s.SetInitial(func(x, y, z float64) [NumFields]float64 { return want })
+		s.Run(5)
+		for c := 0; c < NumFields; c++ {
+			for i, v := range s.U[c] {
+				if math.Abs(v-want[c]) > 1e-12 {
+					t.Errorf("field %d drifted at %d: %v vs %v", c, i, v, want[c])
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallBCStaysFiniteLong(t *testing.T) {
+	_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		cfg := closedBoxConfig(1, 6)
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(GaussianPulse(1, 1, 1, 0.3, 0.4))
+		for i := 0; i < 80; i++ {
+			s.Step(s.StableDt())
+		}
+		for _, v := range s.U[IRho] {
+			if math.IsNaN(v) || v <= 0 || v > 3 {
+				t.Errorf("closed-box run unstable: rho = %v", v)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCStrings(t *testing.T) {
+	if BCFreestream.String() != "freestream" || BCWall.String() != "wall" {
+		t.Fatal("BC names wrong")
+	}
+}

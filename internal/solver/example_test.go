@@ -1,0 +1,35 @@
+package solver_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/solver"
+)
+
+// A complete mini-app run: build a solver on each rank, set an initial
+// condition, advance, and check conservation.
+func Example() {
+	cfg := solver.DefaultConfig(4 /*ranks*/, 5 /*N*/, 2 /*elems per dir*/)
+	conserved := false
+	_, err := comm.RunSimple(4, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(2, 2, 2, 0.1, 0.5))
+		before := s.TotalMass()
+		rep := s.Run(3)
+		if r.ID() == 0 {
+			conserved = math.Abs(rep.Mass-before) < 1e-10*before
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mass conserved:", conserved)
+	// Output: mass conserved: true
+}

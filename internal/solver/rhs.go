@@ -1,0 +1,277 @@
+package solver
+
+import (
+	"repro/internal/comm"
+	"repro/internal/sem"
+)
+
+// eulerFlux fills out[c] with the flux of conserved variable c along
+// direction d, given the conserved state u and precomputed velocity and
+// pressure. All quantities are at one point.
+func eulerFlux(d int, u *[NumFields]float64, vel *[3]float64, p float64, out *[NumFields]float64) {
+	vn := vel[d]
+	out[IRho] = u[IMomX+d]
+	out[IMomX] = u[IMomX] * vn
+	out[IMomY] = u[IMomY] * vn
+	out[IMomZ] = u[IMomZ] * vn
+	out[IMomX+d] += p
+	out[IEnergy] = vn * (u[IEnergy] + p)
+}
+
+// pressure returns the ideal-gas pressure of a conserved state.
+func pressure(u *[NumFields]float64) float64 {
+	ke := 0.5 * (u[IMomX]*u[IMomX] + u[IMomY]*u[IMomY] + u[IMomZ]*u[IMomZ]) / u[IRho]
+	return (Gamma - 1) * (u[IEnergy] - ke)
+}
+
+// wallCorrection returns (f - f*).n for conserved field c at a slip-wall
+// face point: the ghost state mirrors the interior trace with the normal
+// momentum negated, so with the Lax-Friedrichs flux
+// (f - f*).n = sign*(F_in - F_ghost)/2 - lambda*(u_in - u_ghost)/2.
+// Mass and energy fluxes cancel exactly (the box is sealed); normal
+// momentum feels the wall's pressure reaction.
+func (s *Solver) wallCorrection(c, d int, sign float64, idx int, lam float64) float64 {
+	var us, ug, fin, fg [NumFields]float64
+	for cc := 0; cc < NumFields; cc++ {
+		us[cc] = s.faceU[cc][idx]
+	}
+	ug = us
+	ug[IMomX+d] = -us[IMomX+d]
+	inv := 1 / us[IRho]
+	vel := [3]float64{us[IMomX] * inv, us[IMomY] * inv, us[IMomZ] * inv}
+	p := pressure(&us)
+	eulerFlux(d, &us, &vel, p, &fin)
+	velG := vel
+	velG[d] = -vel[d]
+	eulerFlux(d, &ug, &velG, p, &fg)
+	return sign*(fin[c]-fg[c])/2 - lam*(us[c]-ug[c])/2
+}
+
+// computeRHS evaluates the semi-discrete DG right-hand side of the
+// conservation law for the state in, leaving it in s.rhs. One call is one
+// pass through every kernel of the paper's Figure 4 profile; with Mu > 0
+// the viscous (compressible Navier-Stokes) flux path adds the gradient
+// sweeps of the parent code.
+func (s *Solver) computeRHS(in *[NumFields][]float64) {
+	n := s.Cfg.N
+	nel := s.Local.Nel
+	n3 := n * n * n
+	vol := nel * n3
+	n2 := n * n
+	faceLen := sem.FaceSliceLen(n, nel)
+	viscous := s.Cfg.Mu > 0
+
+	// --- compute_primitive: velocity and pressure once per point,
+	// shared by all 15 (field, direction) flux evaluations below.
+	stop := s.Prof.Start("compute_primitive")
+	rho, mx, my, mz, en := in[IRho], in[IMomX], in[IMomY], in[IMomZ], in[IEnergy]
+	vx, vy, vz, pr := s.velP[0], s.velP[1], s.velP[2], s.prP
+	for i := 0; i < vol; i++ {
+		inv := 1 / rho[i]
+		vx[i] = mx[i] * inv
+		vy[i] = my[i] * inv
+		vz[i] = mz[i] * inv
+		pr[i] = (Gamma - 1) * (en[i] - 0.5*(mx[i]*vx[i]+my[i]*vy[i]+mz[i]*vz[i]))
+	}
+	stop()
+	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 8, Add: int64(vol) * 3,
+		Load: int64(vol) * NumFields, Store: int64(vol) * 4}, pointwiseTraits)
+
+	// --- velocity/temperature gradients for the viscous stress (twelve
+	// more passes of the derivative kernel).
+	if viscous {
+		s.computeGradients(in)
+	}
+
+	// --- full2face_cmt: gather the surface traces of the state.
+	stop = s.Prof.Start("full2face_cmt")
+	var moveOps sem.OpCount
+	for c := 0; c < NumFields; c++ {
+		moveOps = moveOps.Plus(sem.Full2Face(n, in[c], nel, s.faceU[c]))
+	}
+	stop()
+	s.chargeCompute(moveOps, pointwiseTraits)
+
+	// --- derivative kernel (ax_): volume flux divergence, the dominant
+	// cost. For each field and direction: pointwise flux, then the
+	// tensor-product derivative, accumulated with the constant metric.
+	// In the viscous path the face traces of the total flux are
+	// extracted here too (both sides then average them via gs, a
+	// BR1-style viscous interface flux).
+	for c := 0; c < NumFields; c++ {
+		for i := range s.div {
+			s.div[i] = 0
+		}
+		for d := 0; d < 3; d++ {
+			stop = s.Prof.Start("compute_flux")
+			vn := s.velP[d]
+			switch {
+			case c == IRho:
+				copy(s.fx, in[IMomX+d][:vol])
+			case c == IMomX+d:
+				uc := in[c]
+				for i := 0; i < vol; i++ {
+					s.fx[i] = uc[i]*vn[i] + pr[i]
+				}
+			case c == IEnergy:
+				for i := 0; i < vol; i++ {
+					s.fx[i] = vn[i] * (en[i] + pr[i])
+				}
+			default:
+				uc := in[c]
+				for i := 0; i < vol; i++ {
+					s.fx[i] = uc[i] * vn[i]
+				}
+			}
+			if viscous {
+				s.addViscousFlux(c, d)
+			}
+			stop()
+			s.chargeCompute(sem.OpCount{Mul: int64(vol), Add: int64(vol),
+				Load: int64(vol) * 2, Store: int64(vol)}, pointwiseTraits)
+
+			if viscous {
+				stop = s.Prof.Start("full2face_cmt")
+				moveOps = sem.Full2FaceDir(n, s.fx, nel, s.faceF[c], d)
+				stop()
+				s.chargeCompute(moveOps, pointwiseTraits)
+			}
+
+			dir := sem.Direction(d)
+			stop = s.Prof.Start("ax_deriv_" + dir.String())
+			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.fx, s.dwork, nel)
+			stop()
+			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
+
+			for i := range s.div {
+				s.div[i] += s.rx * s.dwork[i]
+			}
+		}
+		for i := range s.rhs[c] {
+			s.rhs[c][i] = -s.div[i]
+		}
+	}
+	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 3 * NumFields, Add: int64(vol) * 4 * NumFields,
+		Load: int64(vol) * 2, Store: int64(vol)}, pointwiseTraits)
+
+	// --- compute_flux (surface): in the inviscid path the normal flux
+	// at face points is evaluated directly from the local trace (the
+	// viscous path extracted it from the volume flux above).
+	if !viscous {
+		stop = s.Prof.Start("compute_flux_surface")
+		var us, fs [NumFields]float64
+		var velPt [3]float64
+		for e := 0; e < nel; e++ {
+			for f := 0; f < sem.NFaces; f++ {
+				d := sem.FaceDir(f)
+				base := e*sem.NFaces*n2 + f*n2
+				for q := 0; q < n2; q++ {
+					idx := base + q
+					for c := 0; c < NumFields; c++ {
+						us[c] = s.faceU[c][idx]
+					}
+					inv := 1 / us[IRho]
+					velPt[0], velPt[1], velPt[2] = us[IMomX]*inv, us[IMomY]*inv, us[IMomZ]*inv
+					p := pressure(&us)
+					eulerFlux(d, &us, &velPt, p, &fs)
+					for c := 0; c < NumFields; c++ {
+						s.faceF[c][idx] = fs[c]
+					}
+				}
+			}
+		}
+		stop()
+		s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * 6, Add: int64(faceLen) * 4,
+			Load: int64(faceLen) * 2, Store: int64(faceLen)}, pointwiseTraits)
+	}
+
+	// --- gs_op: nearest-neighbor exchange of state and flux traces.
+	// After the exchange each shared face point holds in+out sums;
+	// unshared (true boundary) points are untouched.
+	stop = s.Prof.Start("gs_op")
+	for c := 0; c < NumFields; c++ {
+		copy(s.exU[c], s.faceU[c])
+		copy(s.exF[c], s.faceF[c])
+	}
+	if s.Cfg.PackedExchange {
+		// gs_op_fields: one packed message per neighbor per exchange.
+		s.gsh.OpFields(s.exU[:], comm.OpSum, s.gsh.Method())
+		s.gsh.OpFields(s.exF[:], comm.OpSum, s.gsh.Method())
+	} else {
+		for c := 0; c < NumFields; c++ {
+			s.gsh.Op(s.exU[c], comm.OpSum)
+			s.gsh.Op(s.exF[c], comm.OpSum)
+		}
+	}
+	stop()
+
+	// --- numerical flux (Lax-Friedrichs) and lift: the correction
+	// (f - f*).n at each exchanged face point, scaled by the diagonal
+	// lift factor, scatter-added into the volume residual. Boundary
+	// face points (bmask == 0) either pass untouched (freestream) or
+	// see a mirror ghost state (slip wall).
+	stop = s.Prof.Start("numerical_flux")
+	lam := s.lambda
+	wall := s.Cfg.BC == BCWall
+	for c := 0; c < NumFields; c++ {
+		fc, uc := s.faceF[c], s.faceU[c]
+		fsum, usum := s.exF[c], s.exU[c]
+		dst := s.faceW
+		for e := 0; e < nel; e++ {
+			for f := 0; f < sem.NFaces; f++ {
+				d := sem.FaceDir(f)
+				sign := float64(sem.FaceSign(f))
+				scale := s.liftScale[d]
+				base := e*sem.NFaces*n2 + f*n2
+				for q := 0; q < n2; q++ {
+					idx := base + q
+					if s.bmask[idx] == 0 {
+						if wall {
+							dst[idx] = scale * s.wallCorrection(c, d, sign, idx, lam)
+						} else {
+							dst[idx] = 0
+						}
+						continue
+					}
+					// (f - f*).n with the Lax-Friedrichs flux, written
+					// in terms of the exchanged in+out sums.
+					corr := sign*(fc[idx]-0.5*fsum[idx]) - lam*(uc[idx]-0.5*usum[idx])
+					dst[idx] = scale * corr
+				}
+			}
+		}
+		sem.Face2FullAdd(n, dst, nel, s.rhs[c])
+	}
+	stop()
+	s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * NumFields * 4, Add: int64(faceLen) * NumFields * 4,
+		Load: int64(faceLen) * NumFields * 4, Store: int64(faceLen) * NumFields}, pointwiseTraits)
+
+	// --- source terms: the conservation law's R (multiphase coupling).
+	// Zero — i.e. absent — in the paper's current CMT-bone; populated by
+	// couplers such as the particle cloud.
+	if s.Source[0] != nil {
+		stop = s.Prof.Start("source_terms")
+		for c := 0; c < NumFields; c++ {
+			src := s.Source[c]
+			dst := s.rhs[c]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+		stop()
+		s.chargeCompute(sem.OpCount{Add: int64(vol) * NumFields,
+			Load: 2 * int64(vol) * NumFields, Store: int64(vol) * NumFields}, pointwiseTraits)
+	}
+
+	// --- dealiasing: map each field to the fine mesh and back (cost
+	// path of the dealiased flux evaluation).
+	if s.Cfg.Dealias {
+		stop = s.Prof.Start("dealias")
+		var ops sem.OpCount
+		for c := 0; c < NumFields; c++ {
+			ops = ops.Plus(s.Ref.DealiasRoundTrip(s.rhs[c], nel, s.fineBf, s.deaScr))
+		}
+		stop()
+		s.chargeCompute(ops, pointwiseTraits)
+	}
+}

@@ -1,0 +1,318 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/gs"
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/prof"
+	"repro/internal/sem"
+)
+
+// Solver is one rank's CMT-bone instance.
+type Solver struct {
+	Cfg   Config
+	Rank  *comm.Rank
+	Local *mesh.Local
+	Ref   *sem.Ref1D
+	Prof  *prof.Profiler
+
+	gsh *gs.GS // face-point gather-scatter
+
+	// U holds the conserved variables, one slice of nel*N^3 per field.
+	U [NumFields][]float64
+
+	// Source holds optional volumetric source terms (the conservation
+	// law's right-hand side R, which carries the multiphase coupling in
+	// CMT-nek). Nil slices mean zero sources — the current CMT-bone
+	// state per the paper. Call EnableSource to allocate; external
+	// couplers (e.g. internal/particles) deposit into it.
+	Source [NumFields][]float64
+
+	// filter operators (nil when the spectral filter is disabled)
+	filterMat     []float64
+	filterScratch []float64
+
+	// Scratch (allocated once).
+	rhs    [NumFields][]float64
+	u1, u2 [NumFields][]float64 // RK stages
+	fx     []float64            // flux component being differentiated
+	dwork  []float64            // derivative output
+	div    []float64            // accumulated divergence
+	velP   [3][]float64         // pointwise velocity (primitive pass)
+	prP    []float64            // pointwise pressure (primitive pass)
+	// viscous-path storage (allocated when Mu > 0)
+	gradQ  [numGradQ][]float64    // quantities to differentiate (vx,vy,vz,T)
+	gradD  [numGradQ][3][]float64 // their physical-space gradients
+	faceU  [NumFields][]float64   // face traces of U
+	faceF  [NumFields][]float64   // face traces of the normal flux
+	exU    [NumFields][]float64   // exchanged (in+out summed) state traces
+	exF    [NumFields][]float64   // exchanged flux traces
+	faceW  []float64              // per-field correction workspace
+	bmask  []float64              // 1 on exchanged face points, 0 on true boundaries
+	fineBf []float64              // dealiasing fine-mesh buffer
+	deaScr []float64              // dealiasing scratch
+
+	// Geometry: uniform unit-cube elements, so d(ref)/d(phys) = 2.
+	rx float64
+	// liftScale[d] = 2/(h_d * w_0): the diagonal lift factor at face
+	// points normal to direction d.
+	liftScale [3]float64
+
+	// Accumulated structural op counts (feeds the hw model).
+	Ops sem.OpCount
+
+	// Lambda is the current global maximum wave speed (set by Lambda()).
+	lambda float64
+}
+
+// New builds a solver on rank r. Collective: every rank must call it with
+// an identical configuration.
+func New(r *comm.Rank, cfg Config) (*Solver, error) {
+	cfg.normalize()
+	if err := cfg.Validate(r.Size()); err != nil {
+		return nil, err
+	}
+	box, err := cfg.Mesh()
+	if err != nil {
+		return nil, err
+	}
+	local := box.Partition(r.ID())
+	ref := sem.NewRef1D(cfg.N)
+	if cfg.Dealias && cfg.GaussDealias {
+		ref = sem.NewRef1DGauss(cfg.N)
+	}
+
+	s := &Solver{
+		Cfg:   cfg,
+		Rank:  r,
+		Local: local,
+		Ref:   ref,
+		Prof:  prof.New(),
+		rx:    2, // reference element [-1,1] onto unit cube
+	}
+	n3 := cfg.N * cfg.N * cfg.N
+	vol := local.Nel * n3
+	for c := 0; c < NumFields; c++ {
+		s.U[c] = make([]float64, vol)
+		s.rhs[c] = make([]float64, vol)
+		s.u1[c] = make([]float64, vol)
+		s.u2[c] = make([]float64, vol)
+	}
+	s.fx = make([]float64, vol)
+	s.dwork = make([]float64, vol)
+	s.div = make([]float64, vol)
+	for d := 0; d < 3; d++ {
+		s.velP[d] = make([]float64, vol)
+	}
+	s.prP = make([]float64, vol)
+	faceLen := sem.FaceSliceLen(cfg.N, local.Nel)
+	for c := 0; c < NumFields; c++ {
+		s.faceU[c] = make([]float64, faceLen)
+		s.faceF[c] = make([]float64, faceLen)
+		s.exU[c] = make([]float64, faceLen)
+		s.exF[c] = make([]float64, faceLen)
+	}
+	s.faceW = make([]float64, faceLen)
+	if cfg.Dealias {
+		s.fineBf = make([]float64, ref.NF*ref.NF*ref.NF)
+		s.deaScr = make([]float64, ref.DealiasScratchLen())
+	}
+	if cfg.FilterCutoff > 0 {
+		s.filterMat = sem.FilterMatrix(ref.X, cfg.FilterCutoff, 1.0)
+		s.filterScratch = make([]float64, sem.FilterScratchLen(cfg.N))
+	}
+	if cfg.Mu > 0 {
+		for q := 0; q < numGradQ; q++ {
+			s.gradQ[q] = make([]float64, vol)
+			for d := 0; d < 3; d++ {
+				s.gradD[q][d] = make([]float64, vol)
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		s.liftScale[d] = s.rx / ref.W[0]
+	}
+
+	// Boundary mask: face points without a neighbor (non-periodic domain
+	// boundary) get no numerical-flux correction.
+	s.bmask = make([]float64, faceLen)
+	n2 := cfg.N * cfg.N
+	for e := 0; e < local.Nel; e++ {
+		for f := 0; f < sem.NFaces; f++ {
+			v := 0.0
+			if _, ok := local.FaceNeighbor(e, f); ok {
+				v = 1
+			}
+			base := e*sem.NFaces*n2 + f*n2
+			for i := 0; i < n2; i++ {
+				s.bmask[base+i] = v
+			}
+		}
+	}
+
+	// Gather-scatter over DG face-point ids (gs_setup, with its
+	// generalized all-to-all discovery phase).
+	stop := s.Prof.Start("gs_setup")
+	s.gsh = gs.Setup(r, local.DGFaceIDs())
+	stop()
+	if cfg.AutoTune {
+		stop := s.Prof.Start("gs_autotune")
+		gs.TuneModeled(s.gsh, cfg.TuneTrials)
+		stop()
+	} else {
+		s.gsh.SetMethod(cfg.GSMethod)
+	}
+	return s, nil
+}
+
+// GS exposes the face gather-scatter handle (for reporting).
+func (s *Solver) GS() *gs.GS { return s.gsh }
+
+// EnableSource allocates the source-term fields (zeroed) and returns
+// them; callers deposit coupling terms (e.g. particle drag reactions)
+// before each Step.
+func (s *Solver) EnableSource() *[NumFields][]float64 {
+	if s.Source[0] == nil {
+		vol := len(s.U[0])
+		for c := 0; c < NumFields; c++ {
+			s.Source[c] = make([]float64, vol)
+		}
+	}
+	return &s.Source
+}
+
+// ZeroSource clears the source-term fields (no-op when disabled).
+func (s *Solver) ZeroSource() {
+	for c := 0; c < NumFields; c++ {
+		for i := range s.Source[c] {
+			s.Source[c][i] = 0
+		}
+	}
+}
+
+// Nel returns the local element count.
+func (s *Solver) Nel() int { return s.Local.Nel }
+
+// PointCoords returns the physical coordinates of point (i,j,k) of local
+// element e; elements are unit cubes tiling [0, ElemGrid) per direction.
+func (s *Solver) PointCoords(e, i, j, k int) (x, y, z float64) {
+	g := s.Local.GlobalElemCoords(e)
+	x = float64(g[0]) + (s.Ref.X[i]+1)/2
+	y = float64(g[1]) + (s.Ref.X[j]+1)/2
+	z = float64(g[2]) + (s.Ref.X[k]+1)/2
+	return
+}
+
+// SetInitial fills the conserved variables from a pointwise function of
+// physical coordinates.
+func (s *Solver) SetInitial(f func(x, y, z float64) [NumFields]float64) {
+	n := s.Cfg.N
+	n3 := n * n * n
+	for e := 0; e < s.Local.Nel; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x, y, z := s.PointCoords(e, i, j, k)
+					u := f(x, y, z)
+					idx := e*n3 + i + n*j + n*n*k
+					for c := 0; c < NumFields; c++ {
+						s.U[c][idx] = u[c]
+					}
+				}
+			}
+		}
+	}
+}
+
+// UniformState returns the conserved variables of a uniform flow with
+// density rho, velocity (u,v,w) and pressure p.
+func UniformState(rho, u, v, w, p float64) [NumFields]float64 {
+	return [NumFields]float64{
+		rho, rho * u, rho * v, rho * w,
+		p/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w),
+	}
+}
+
+// GaussianPulse returns an initial condition: a density/pressure bump of
+// amplitude amp and width sigma centered at (cx,cy,cz) on a quiescent
+// background — the acoustic test problem of the examples.
+func GaussianPulse(cx, cy, cz, amp, sigma float64) func(x, y, z float64) [NumFields]float64 {
+	return func(x, y, z float64) [NumFields]float64 {
+		r2 := (x-cx)*(x-cx) + (y-cy)*(y-cy) + (z-cz)*(z-cz)
+		b := amp * math.Exp(-r2/(2*sigma*sigma))
+		rho := 1 + b
+		p := 1/Gamma + b
+		return UniformState(rho, 0, 0, 0, p)
+	}
+}
+
+// chargeCompute advances the rank's virtual clock by the modeled cost of
+// ops under traits on the configured machine (behavioral emulation of the
+// compute phases between messages).
+func (s *Solver) chargeCompute(ops sem.OpCount, tr hw.Traits) {
+	s.Ops = s.Ops.Plus(ops)
+	t := hw.Time(s.Cfg.Machine, hw.Ops{Mul: ops.Mul, Add: ops.Add, Load: ops.Load, Store: ops.Store}, tr)
+	s.Rank.Clock().Advance(t)
+}
+
+// derivTraits returns the hw traits matching the configured kernel
+// variant and direction.
+func derivTraits(dir sem.Direction, v sem.KernelVariant) hw.Traits {
+	switch {
+	case dir == sem.DirR && v == sem.Optimized:
+		return hw.DudrOptimized
+	case dir == sem.DirR:
+		return hw.DudrBasic
+	case dir == sem.DirS && v == sem.Optimized:
+		return hw.DudsOptimized
+	case dir == sem.DirS:
+		return hw.DudsBasic
+	case dir == sem.DirT && v == sem.Optimized:
+		return hw.DudtOptimized
+	default:
+		return hw.DudtBasic
+	}
+}
+
+// pointwiseTraits models simple streaming arithmetic (flux evaluation,
+// vector updates).
+var pointwiseTraits = hw.Traits{VecFrac: 0.6, OverheadPerFlop: 0.3, MissRate: 0.01}
+
+// TotalMass returns the global integral of the density field — conserved
+// exactly by the scheme on periodic domains. Collective (uses the vector
+// reduction path).
+func (s *Solver) TotalMass() float64 {
+	return s.Integrate(IRho)
+}
+
+// Integrate returns the global integral of one conserved field, using LGL
+// quadrature and an allreduce vector reduction (the paper's "vector
+// reductions" communication class).
+func (s *Solver) Integrate(field int) float64 {
+	if field < 0 || field >= NumFields {
+		panic(fmt.Sprintf("solver: field %d out of range", field))
+	}
+	n := s.Cfg.N
+	n3 := n * n * n
+	jac := 1.0 / (s.rx * s.rx * s.rx) // dV = (h/2)^3 dr ds dt
+	local := 0.0
+	for e := 0; e < s.Local.Nel; e++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				wjk := s.Ref.W[j] * s.Ref.W[k]
+				row := e*n3 + n*j + n*n*k
+				for i := 0; i < n; i++ {
+					local += s.Ref.W[i] * wjk * s.U[field][row+i]
+				}
+			}
+		}
+	}
+	s.Rank.SetSite("glsum")
+	out := s.Rank.Allreduce(comm.OpSum, []float64{local * jac})
+	s.Rank.SetSite("")
+	return out[0]
+}

@@ -1,0 +1,183 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/sem"
+)
+
+// MaxWaveSpeed computes the global maximum |velocity| + sound speed — the
+// Lax-Friedrichs dissipation coefficient and the CFL speed. Collective
+// (allreduce max, one of the mini-app's vector reductions).
+func (s *Solver) MaxWaveSpeed() float64 {
+	stop := s.Prof.Start("wave_speed")
+	local := 0.0
+	var u [NumFields]float64
+	for i := range s.U[IRho] {
+		for c := 0; c < NumFields; c++ {
+			u[c] = s.U[c][i]
+		}
+		inv := 1 / u[IRho]
+		speed2 := (u[IMomX]*u[IMomX] + u[IMomY]*u[IMomY] + u[IMomZ]*u[IMomZ]) * inv * inv
+		p := pressure(&u)
+		cs := math.Sqrt(Gamma * p * inv)
+		if v := math.Sqrt(speed2) + cs; v > local {
+			local = v
+		}
+	}
+	stop()
+	s.chargeCompute(sem.OpCount{Mul: int64(len(s.U[IRho])) * 8, Add: int64(len(s.U[IRho])) * 5,
+		Load: int64(len(s.U[IRho])) * NumFields, Store: 0}, pointwiseTraits)
+	s.Rank.SetSite("glmax")
+	out := s.Rank.Allreduce(comm.OpMax, []float64{local})
+	s.Rank.SetSite("")
+	s.lambda = out[0]
+	return out[0]
+}
+
+// StableDt returns a CFL-stable time step for the current state:
+// dt = CFL * h / (N^2 * lambda), the spectral-element CFL rule with the
+// minimum node spacing scaling as h/N^2. Collective.
+func (s *Solver) StableDt() float64 {
+	lam := s.MaxWaveSpeed()
+	if lam == 0 {
+		lam = 1
+	}
+	h := 1.0 // unit-cube elements
+	n := float64(s.Cfg.N)
+	return s.Cfg.CFL * h / (n * n * lam)
+}
+
+// Step advances the state by one SSP-RK3 step of size dt. Collective.
+func (s *Solver) Step(dt float64) {
+	stop := s.Prof.Start("timestep")
+	defer stop()
+
+	vol := len(s.U[IRho])
+
+	// Stage 1: u1 = U + dt RHS(U).
+	s.computeRHS(&s.U)
+	stopUpd := s.Prof.Start("rk_update")
+	for c := 0; c < NumFields; c++ {
+		uc, rc, o := s.U[c], s.rhs[c], s.u1[c]
+		for i := 0; i < vol; i++ {
+			o[i] = uc[i] + dt*rc[i]
+		}
+	}
+	stopUpd()
+	// Stage 2: u2 = 3/4 U + 1/4 (u1 + dt RHS(u1)).
+	s.computeRHS(&s.u1)
+	stopUpd = s.Prof.Start("rk_update")
+	for c := 0; c < NumFields; c++ {
+		uc, u1c, rc, o := s.U[c], s.u1[c], s.rhs[c], s.u2[c]
+		for i := 0; i < vol; i++ {
+			o[i] = 0.75*uc[i] + 0.25*(u1c[i]+dt*rc[i])
+		}
+	}
+	stopUpd()
+	// Stage 3: U = 1/3 U + 2/3 (u2 + dt RHS(u2)).
+	s.computeRHS(&s.u2)
+	stopUpd = s.Prof.Start("rk_update")
+	for c := 0; c < NumFields; c++ {
+		uc, u2c, rc := s.U[c], s.u2[c], s.rhs[c]
+		for i := 0; i < vol; i++ {
+			uc[i] = uc[i]/3 + 2.0/3.0*(u2c[i]+dt*rc[i])
+		}
+	}
+	stopUpd()
+	s.chargeCompute(sem.OpCount{Mul: int64(vol) * NumFields * 6, Add: int64(vol) * NumFields * 4,
+		Load: int64(vol) * NumFields * 8, Store: int64(vol) * NumFields * 3}, pointwiseTraits)
+
+	// Spectral filter (shock-capturing proxy): attenuate the highest
+	// Legendre modes of every conserved field.
+	if s.filterMat != nil {
+		stopF := s.Prof.Start("spectral_filter")
+		var ops sem.OpCount
+		for c := 0; c < NumFields; c++ {
+			ops = ops.Plus(sem.FilterElements(s.filterMat, s.Cfg.N, s.U[c], s.Local.Nel,
+				s.Cfg.FilterStrength, s.filterScratch))
+		}
+		stopF()
+		s.chargeCompute(ops, pointwiseTraits)
+	}
+}
+
+// DtController implements growth-limited adaptive time stepping (the
+// "adaptive time stepping" item of the paper's Section VII roadmap): the
+// step follows the CFL-stable dt of the evolving state, but step-to-step
+// growth is capped so the integrator cannot leap after a transient lull
+// in the wave speed, and any shrink is taken immediately.
+type DtController struct {
+	// MaxGrowth caps dt_{n+1}/dt_n (default 1.1).
+	MaxGrowth float64
+	prev      float64
+}
+
+// Next returns the time step to use given the currently stable dt.
+func (c *DtController) Next(stable float64) float64 {
+	g := c.MaxGrowth
+	if g <= 1 {
+		g = 1.1
+	}
+	dt := stable
+	if c.prev > 0 && dt > c.prev*g {
+		dt = c.prev * g
+	}
+	c.prev = dt
+	return dt
+}
+
+// RunAdaptive advances steps timesteps under a growth-limited adaptive
+// controller and returns the summary plus the dt history. Collective.
+func (s *Solver) RunAdaptive(steps int, ctl *DtController) (Report, []float64) {
+	if ctl == nil {
+		ctl = &DtController{}
+	}
+	hist := make([]float64, 0, steps)
+	var dt float64
+	for i := 0; i < steps; i++ {
+		dt = ctl.Next(s.StableDt())
+		s.Step(dt)
+		hist = append(hist, dt)
+	}
+	s.Prof.Finish()
+	return Report{
+		Steps:     steps,
+		Dt:        dt,
+		Mass:      s.TotalMass(),
+		Energy:    s.Integrate(IEnergy),
+		WaveSpeed: s.lambda,
+		Ops:       s.Ops,
+	}, hist
+}
+
+// Report summarizes a Run.
+type Report struct {
+	Steps     int
+	Dt        float64
+	Mass      float64 // global density integral after the run
+	Energy    float64 // global energy integral after the run
+	WaveSpeed float64 // final lambda
+	Ops       sem.OpCount
+}
+
+// Run advances the solver steps timesteps, recomputing the stable dt and
+// wave speed each step (the per-step vector reductions of the real code),
+// and returns a summary. Collective.
+func (s *Solver) Run(steps int) Report {
+	var dt float64
+	for i := 0; i < steps; i++ {
+		dt = s.StableDt()
+		s.Step(dt)
+	}
+	s.Prof.Finish()
+	return Report{
+		Steps:     steps,
+		Dt:        dt,
+		Mass:      s.TotalMass(),
+		Energy:    s.Integrate(IEnergy),
+		WaveSpeed: s.lambda,
+		Ops:       s.Ops,
+	}
+}

@@ -1,0 +1,80 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+)
+
+// TestStragglerShowsLoadImbalanceSignature reproduces the paper's
+// load-balancing observation (Figures 8-9): when one rank computes
+// slower, every *other* rank's modeled time fills up with MPI waiting —
+// the straggler itself shows the lowest MPI share, its peers the
+// highest. This is the behavioral-emulation read-out of MPI_Wait skew.
+func TestStragglerShowsLoadImbalanceSignature(t *testing.T) {
+	const np = 8
+	run := func(factors []float64) []comm.RankMPI {
+		cfg := DefaultConfig(np, 6, 2)
+		opts := cfg.CommOptions(netmodel.QDR)
+		opts.ComputeFactors = factors
+		stats, err := comm.Run(np, opts, func(r *comm.Rank) error {
+			s, err := New(r, cfg)
+			if err != nil {
+				return err
+			}
+			s.SetInitial(GaussianPulse(2, 2, 2, 0.1, 0.5))
+			s.Run(3)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.RankMPIFractions()
+	}
+
+	// Balanced baseline.
+	balanced := run(nil)
+	balancedFrac := 0.0
+	for _, f := range balanced {
+		balancedFrac += f.FracModeled()
+	}
+	balancedFrac /= np
+
+	// Rank 3 runs 60% slower.
+	factors := make([]float64, np)
+	for i := range factors {
+		factors[i] = 1
+	}
+	factors[3] = 1.6
+	skewed := run(factors)
+
+	stragglerFrac := skewed[3].FracModeled()
+	peerFrac := 0.0
+	for i, f := range skewed {
+		if i != 3 {
+			peerFrac += f.FracModeled()
+		}
+	}
+	peerFrac /= np - 1
+
+	if peerFrac <= balancedFrac {
+		t.Errorf("peers of a straggler should wait more than a balanced run: %.3f vs %.3f",
+			peerFrac, balancedFrac)
+	}
+	if stragglerFrac >= peerFrac {
+		t.Errorf("the straggler should wait least: straggler %.3f vs peers %.3f",
+			stragglerFrac, peerFrac)
+	}
+	// The straggler's makespan defines the run: its virtual time is the
+	// maximum.
+	maxVT, maxIdx := 0.0, -1
+	for i, f := range skewed {
+		if f.VirtualTime > maxVT {
+			maxVT, maxIdx = f.VirtualTime, i
+		}
+	}
+	if maxIdx != 3 {
+		t.Errorf("rank %d has the longest modeled time; expected the straggler (3)", maxIdx)
+	}
+}

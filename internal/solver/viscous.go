@@ -1,0 +1,122 @@
+package solver
+
+import (
+	"repro/internal/sem"
+)
+
+// The viscous path: CMT-nek is an explicit solver for the compressible
+// Navier-Stokes equations (paper Section III.A); setting Config.Mu > 0
+// enables the corresponding flux terms here. Velocity and temperature
+// gradients are computed with the same derivative kernel as the flux
+// divergence (twelve more ax_ passes per right-hand side — exactly the
+// kernel-count amplification the full physics brings), the Newtonian
+// stress tensor and Fourier heat flux are formed pointwise, and the
+// viscous contribution is folded into the total flux before the
+// divergence and face-exchange stages, giving a BR1-style averaged
+// interface flux.
+//
+// The gradients are the broken (element-local) DG gradients, without a
+// dedicated interface correction — second-order accurate at element
+// interfaces for resolved fields, which is what a cost-faithful mini-app
+// needs; the shear-wave decay test pins the quantitative behaviour.
+
+// gradient quantity indices within s.gradQ/s.gradD.
+const (
+	gradVx = iota
+	gradVy
+	gradVz
+	gradT
+	numGradQ
+)
+
+// computeGradients fills s.gradD[q][d] with the physical-space
+// derivative of quantity q (velocity components and temperature) of the
+// state in, along direction d. Requires the primitive pass to have run.
+func (s *Solver) computeGradients(in *[NumFields][]float64) {
+	nel := s.Local.Nel
+	vol := len(s.prP)
+
+	// Temperature with the gas constant R = 1: T = p / rho.
+	stop := s.Prof.Start("compute_primitive")
+	tq := s.gradQ[gradT]
+	rho := in[IRho]
+	for i := 0; i < vol; i++ {
+		tq[i] = s.prP[i] / rho[i]
+	}
+	copy(s.gradQ[gradVx], s.velP[0])
+	copy(s.gradQ[gradVy], s.velP[1])
+	copy(s.gradQ[gradVz], s.velP[2])
+	stop()
+	s.chargeCompute(sem.OpCount{Mul: int64(vol), Load: 2 * int64(vol), Store: int64(vol)}, pointwiseTraits)
+
+	for q := 0; q < numGradQ; q++ {
+		for d := 0; d < 3; d++ {
+			dir := sem.Direction(d)
+			stop := s.Prof.Start("ax_deriv_" + dir.String())
+			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.gradQ[q], s.gradD[q][d], nel)
+			stop()
+			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
+			// Constant metric: d/dx = rx * d/dr.
+			gd := s.gradD[q][d]
+			for i := range gd {
+				gd[i] *= s.rx
+			}
+		}
+	}
+	s.chargeCompute(sem.OpCount{Mul: int64(vol) * numGradQ * 3,
+		Load: int64(vol) * numGradQ * 3, Store: int64(vol) * numGradQ * 3}, pointwiseTraits)
+}
+
+// addViscousFlux subtracts the viscous flux of conserved variable c
+// along direction d from s.fx (which already holds the Euler flux).
+// Requires computeGradients.
+func (s *Solver) addViscousFlux(c, d int) {
+	mu := s.Cfg.Mu
+	// Fourier conductivity: kappa = mu * cp / Pr, cp = Gamma/(Gamma-1)
+	// with R = 1.
+	kappa := mu * Gamma / (Gamma - 1) / s.Cfg.Pr
+	vol := len(s.fx)
+
+	dudx := s.gradD[gradVx]
+	dvdx := s.gradD[gradVy]
+	dwdx := s.gradD[gradVz]
+
+	switch {
+	case c == IRho:
+		// No viscous mass flux.
+	case c >= IMomX && c <= IMomZ:
+		i := c - IMomX // stress row
+		// tau_{i,d} = mu (dv_i/dx_d + dv_d/dx_i) - (2/3) mu div(v) delta_{i,d}
+		gi := s.gradD[gradVx+i][d]
+		gd := s.gradD[gradVx+d][i]
+		if i == d {
+			for p := 0; p < vol; p++ {
+				divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
+				tau := mu*(gi[p]+gd[p]) - (2.0/3.0)*mu*divv
+				s.fx[p] -= tau
+			}
+		} else {
+			for p := 0; p < vol; p++ {
+				s.fx[p] -= mu * (gi[p] + gd[p])
+			}
+		}
+	case c == IEnergy:
+		// Work of the stress plus heat conduction:
+		// F_visc,E[d] = sum_i v_i tau_{i,d} + kappa dT/dx_d.
+		gT := s.gradD[gradT][d]
+		for p := 0; p < vol; p++ {
+			divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
+			var work float64
+			for i := 0; i < 3; i++ {
+				tau := mu * (s.gradD[gradVx+i][d][p] + s.gradD[gradVx+d][i][p])
+				if i == d {
+					tau -= (2.0 / 3.0) * mu * divv
+				}
+				work += s.velP[i][p] * tau
+			}
+			s.fx[p] -= work + kappa*gT[p]
+		}
+	}
+	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 6, Add: int64(vol) * 6,
+		Load: int64(vol) * 8, Store: int64(vol)}, pointwiseTraits)
+}
