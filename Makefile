@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages (the rank goroutine substrate and the
+# telemetry layer every rank records into) additionally run under the
+# race detector.
+race:
+	$(GO) test -race ./internal/comm/... ./internal/obs/...
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

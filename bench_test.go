@@ -19,6 +19,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mesh"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/sem"
 	"repro/internal/solver"
 )
@@ -506,5 +507,45 @@ func BenchmarkHWModel(b *testing.B) {
 	ops := hw.Ops{Mul: 1 << 20, Add: 1 << 20, Load: 1 << 21, Store: 1 << 18}
 	for i := 0; i < b.N; i++ {
 		hw.Model(hw.Opteron6378, ops, hw.DudtOptimized)
+	}
+}
+
+// BenchmarkTelemetryOverhead times one full timestep with the span
+// tracer attached ("on") and without it ("off") — the wall-clock cost
+// of observability. The modeled virtual time is invariant by
+// construction (TestTelemetryVTInvariance); this bench bounds the
+// host-side overhead, which must stay well under 10%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, telemetry := range []bool{false, true} {
+		name := "off"
+		if telemetry {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := solver.DefaultConfig(1, 8, 2)
+			if telemetry {
+				tr := obs.NewTracer()
+				// A span per kernel per step adds up across b.N: raise the
+				// cap so late iterations are not artificially cheaper.
+				tr.Cap = 1 << 26
+				cfg.Obs = tr
+			}
+			_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+				s, err := solver.New(r, cfg)
+				if err != nil {
+					return err
+				}
+				s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+				dt := s.StableDt()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step(dt)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

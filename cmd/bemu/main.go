@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/gs"
 	"repro/internal/hw"
@@ -29,7 +30,7 @@ func main() {
 	local := flag.Int("local", 2, "elements per rank per direction")
 	steps := flag.Int("steps", 2, "timesteps")
 	calibrate := flag.Bool("calibrate", false, "also sweep a network model calibrated to this host's transport")
-	flag.Parse()
+	cli.Parse()
 
 	machines := []hw.Machine{hw.Opteron6378, hw.I52500, hw.Generic}
 	networks := []netmodel.Model{netmodel.QDR, netmodel.GigE, netmodel.Exascale}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/gs"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/solver"
@@ -47,7 +48,10 @@ func main() {
 	showMPI := flag.Bool("mpiprofile", false, "print the MPI (mpiP-style) profiles")
 	showDiag := flag.Bool("diag", false, "print flow diagnostics and the density modal spectrum")
 	ckptDir := flag.String("ckpt", "", "write a per-rank checkpoint of the final state into this directory")
-	flag.Parse()
+	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON timeline of per-rank spans to this file")
+	metricsOut := flag.String("metrics", "", "write a step-metrics JSONL stream (one record per timestep) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live pprof and expvar on this address (e.g. :6060)")
+	cli.Parse()
 
 	cfg := solver.DefaultConfig(*np, *n, *local)
 	if *gridStr != "" {
@@ -85,6 +89,53 @@ func main() {
 		log.Fatalf("-net: %v", err)
 	}
 
+	// Telemetry: the span tracer, metrics registry, and step collector
+	// only observe — they never advance the virtual clock, so the modeled
+	// run is bit-identical with them on or off.
+	var (
+		tel         *obs.Tracer
+		reg         *obs.Registry
+		coll        *obs.StepCollector
+		metricsFile *os.File
+		traceFile   *os.File
+	)
+	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		// Open the output before the run so a bad path fails fast
+		// instead of after the simulation has already finished.
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		tel = obs.NewTracer()
+		cfg.Obs = tel
+	}
+	if *metricsOut != "" {
+		metricsFile, err = os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		coll = obs.NewStepCollector(metricsFile, *np, reg)
+		cfg.Steps = coll
+		if *showDiag {
+			cfg.StepDiag = diag.StepScalars
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("-debug-addr: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/ and /debug/vars\n", srv.Addr())
+	}
+	opts := cfg.CommOptions(model)
+	if tel != nil || reg != nil {
+		opts.Tracer = obs.NewCommTracer(tel, reg)
+	}
+
 	fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
 		*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
 		cfg.ElemGrid[0]*cfg.ElemGrid[1]*cfg.ElemGrid[2] / *np, cfg.N, *steps, *gsName, model.Name)
@@ -94,7 +145,7 @@ func main() {
 	methods := make([]gs.Method, *np)
 	var flowDiag diag.Summary
 	var spectrum diag.Spectrum
-	stats, err := comm.Run(*np, cfg.CommOptions(model), func(r *comm.Rank) error {
+	stats, err := comm.Run(*np, opts, func(r *comm.Rank) error {
 		s, err := solver.New(r, cfg)
 		if err != nil {
 			return err
@@ -131,6 +182,40 @@ func main() {
 		stats.Wall, stats.MaxVirtualTime(), float64(rep.Ops.Flops()))
 	if *ckptDir != "" {
 		fmt.Printf("checkpoint written to %s\n", checkpoint.FilePath(*ckptDir, "final", 0))
+	}
+	if tel != nil {
+		if err := tel.WritePerfetto(traceFile); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		fmt.Printf("trace written to %s (%d spans, %d flows; load in ui.perfetto.dev)\n",
+			*traceOut, len(tel.Spans()), len(tel.Flows()))
+		if ds, df := tel.Dropped(); ds+df > 0 {
+			fmt.Printf("trace: capacity reached, dropped %d spans and %d flows\n", ds, df)
+		}
+	}
+	if coll != nil {
+		n, err := coll.Flush()
+		if err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if err := metricsFile.Close(); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		fmt.Printf("step metrics written to %s (%d records)\n", *metricsOut, n)
+		f, err := os.Open(*metricsOut)
+		if err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		recs, err := obs.ReadSteps(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(report.TelemetrySummary(recs))
 	}
 
 	if *showDiag {

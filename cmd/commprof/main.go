@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/netmodel"
 	"repro/internal/prof"
@@ -30,7 +31,8 @@ func main() {
 	which := flag.String("profile", "all", "which profile to print: exec, mpirank, mpitop, mpisize, all")
 	modeled := flag.Bool("modeled", true, "base Figure 8 fractions on modeled (cluster) time instead of host wall time")
 	traceFile := flag.String("trace", "", "write a per-message CSV trace to this file (network-model input)")
-	flag.Parse()
+	traceCap := flag.Int("trace-cap", 0, "cap the in-memory message trace at this many events (0 = unbounded); excess events are counted, not stored")
+	cli.Parse()
 
 	model, err := netmodel.ByName(*netName)
 	if err != nil {
@@ -41,7 +43,7 @@ func main() {
 	opts := cfg.CommOptions(model)
 	var tracer *comm.MemTracer
 	if *traceFile != "" {
-		tracer = &comm.MemTracer{}
+		tracer = &comm.MemTracer{Cap: *traceCap}
 		opts.Tracer = tracer
 	}
 
@@ -95,5 +97,9 @@ func main() {
 		sum := tracer.Summarize()
 		fmt.Printf("\ntrace: %d messages, %d bytes (mean %.1f B, mean %.2f hops) -> %s\n",
 			sum.Messages, sum.Bytes, sum.MeanBytes, sum.MeanHops, *traceFile)
+		if sum.Dropped > 0 {
+			fmt.Printf("trace: -trace-cap %d reached, %d further events dropped (excluded from the totals above)\n",
+				*traceCap, sum.Dropped)
+		}
 	}
 }

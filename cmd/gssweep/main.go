@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/gs"
 	"repro/internal/mesh"
@@ -35,7 +36,7 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's exact Figure 7 setup (256 ranks, 5x5x4 local elements, N=10)")
 	netName := flag.String("net", netmodel.QDR.Name, "network model: "+strings.Join(netmodel.Names(), ", "))
 	csvPath := flag.String("csv", "", "also write the comparison as CSV to this file")
-	flag.Parse()
+	cli.Parse()
 
 	model, err := netmodel.ByName(*netName)
 	if err != nil {

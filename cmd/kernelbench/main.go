@@ -48,7 +48,7 @@ func main() {
 	variantName := flag.String("variant", "both", "kernel variant: optimized, basic, or both")
 	machineName := flag.String("machine", hw.Opteron6378.Name, "hw model machine: opteron-6378, i5-2500, generic")
 	sweep := flag.Bool("sweep", false, "sweep N over the paper's 5..25 range (constant total points) instead of one N")
-	flag.Parse()
+	cli.Parse()
 
 	machine, err := cli.ParseMachine(*machineName)
 	if err != nil {

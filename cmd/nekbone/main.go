@@ -9,6 +9,7 @@ import (
 	"log"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/gs"
 	nb "repro/internal/nekbone"
@@ -29,7 +30,7 @@ func main() {
 	autotune := flag.Bool("autotune", false, "autotune the gather-scatter method at startup")
 	netName := flag.String("net", netmodel.QDR.Name, "network model: "+strings.Join(netmodel.Names(), ", "))
 	showProfile := flag.Bool("profile", false, "print the execution profile")
-	flag.Parse()
+	cli.Parse()
 
 	cfg := nb.DefaultConfig(*np, *n, *local)
 	cfg.Iters = *iters

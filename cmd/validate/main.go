@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/gs"
 	"repro/internal/solver"
@@ -33,7 +34,7 @@ type check struct {
 func main() {
 	log.SetFlags(0)
 	verbose := flag.Bool("v", false, "print details for passing checks too")
-	flag.Parse()
+	cli.Parse()
 
 	checks := []check{
 		{"free-stream preservation", checkFreeStream},

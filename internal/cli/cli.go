@@ -4,13 +4,29 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/hw"
 	"repro/internal/sem"
 )
+
+// Parse parses the command line like flag.Parse, then rejects stray
+// positional arguments: every tool here is flag-driven, so a leftover
+// argument is almost always a mistyped flag. On failure it prints the
+// offending argument plus the usage text and exits with status 2 — the
+// same contract as flag's own parse errors.
+func Parse() {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(flag.CommandLine.Output(), "unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+}
 
 // ParseTriple parses "AxBxC" into three positive ints.
 func ParseTriple(s string) ([3]int, error) {

@@ -76,6 +76,44 @@ func (p *Profile) record(op string, wall, modeled float64, bytes int64) {
 // to this rank's completion.
 func (p *Profile) AppWall() float64 { return p.appWall }
 
+// OpTotals is a profile's accumulated statistics classified into the
+// coarse buckets the telemetry step stream reports. The split follows
+// where modeled time is charged: point-to-point receives and waits are
+// pure blocking, sends charge only injection overhead, and collectives
+// mix both (counted in Modeled but not Wait).
+type OpTotals struct {
+	Calls     int64
+	Wall      float64 // host seconds inside MPI operations
+	Modeled   float64 // modeled seconds inside MPI operations
+	Wait      float64 // modeled seconds blocked on receive-side ops
+	BytesSent int64   // payload bytes sent point-to-point
+}
+
+// Totals classifies the profile so far. Like the rest of Profile it is
+// for use by the owning rank goroutine; taking deltas of successive
+// calls yields per-phase splits.
+func (p *Profile) Totals() OpTotals {
+	var t OpTotals
+	for _, k := range p.order {
+		s := p.stats[k]
+		t.Calls += s.Count
+		t.Wall += s.Wall
+		t.Modeled += s.Modeled
+		switch s.Op {
+		case "MPI_Recv", "MPI_Wait":
+			t.Wait += s.Modeled
+		case "MPI_Send", "MPI_Isend":
+			t.BytesSent += s.Bytes
+		case "MPI_Sendrecv":
+			// Records the send and receive payload together; the wait
+			// share of its modeled time is blocking.
+			t.Wait += s.Modeled
+			t.BytesSent += s.Bytes / 2
+		}
+	}
+	return t
+}
+
 // MPIWall returns total host wall seconds spent inside MPI operations.
 func (p *Profile) MPIWall() float64 {
 	t := 0.0

@@ -30,17 +30,37 @@ type Tracer interface {
 	Record(TraceEvent)
 }
 
-// MemTracer is an in-memory Tracer collecting every event.
+// MemTracer is an in-memory Tracer collecting events. Cap, when > 0,
+// bounds how many events are retained: a long run cannot grow the
+// tracer without bound, and the overflow is reported by Dropped rather
+// than silently lost.
 type MemTracer struct {
-	mu     sync.Mutex
-	events []TraceEvent
+	// Cap is the maximum number of retained events (0 = unbounded).
+	// Set it before the run starts.
+	Cap int
+
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int64
 }
 
 // Record implements Tracer.
 func (m *MemTracer) Record(e TraceEvent) {
 	m.mu.Lock()
-	m.events = append(m.events, e)
+	if m.Cap > 0 && len(m.events) >= m.Cap {
+		m.dropped++
+	} else {
+		m.events = append(m.events, e)
+	}
 	m.mu.Unlock()
+}
+
+// Dropped returns how many events were discarded because the tracer was
+// at Cap.
+func (m *MemTracer) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
 }
 
 // Events returns the recorded events sorted by send time (stable on
@@ -65,6 +85,18 @@ func (m *MemTracer) Len() int {
 	return len(m.events)
 }
 
+// MultiTracer fans every event out to several tracers, so one run can
+// feed e.g. both a CSV message dump and the telemetry layer's flow
+// converter.
+type MultiTracer []Tracer
+
+// Record implements Tracer.
+func (ts MultiTracer) Record(e TraceEvent) {
+	for _, t := range ts {
+		t.Record(e)
+	}
+}
+
 // Summary aggregates the trace for quick inspection.
 type TraceSummary struct {
 	Messages  int64
@@ -72,6 +104,7 @@ type TraceSummary struct {
 	MeanBytes float64
 	MeanHops  float64
 	MaxHops   int
+	Dropped   int64 // events discarded at Cap (not in the aggregates)
 }
 
 // Summarize computes aggregate statistics over the trace.
@@ -92,6 +125,7 @@ func (m *MemTracer) Summarize() TraceSummary {
 		s.MeanBytes = float64(s.Bytes) / float64(s.Messages)
 		s.MeanHops = float64(hops) / float64(s.Messages)
 	}
+	s.Dropped = m.dropped
 	return s
 }
 

@@ -97,6 +97,45 @@ func TestTraceCSV(t *testing.T) {
 	}
 }
 
+func TestTracerCapDrops(t *testing.T) {
+	tr := MemTracer{Cap: 3}
+	_, err := Run(4, Options{Tracer: &tr}, func(r *Rank) error {
+		r.Allreduce(OpSum, []float64{1}) // 8 wire messages on 4 ranks
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("retained %d events, want Cap=3", tr.Len())
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("dropped %d events, want 5", tr.Dropped())
+	}
+	s := tr.Summarize()
+	if s.Dropped != 5 || s.Messages != 3 {
+		t.Fatalf("summary = %+v, want 3 messages and 5 dropped", s)
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	var a, b MemTracer
+	_, err := Run(2, Options{Tracer: MultiTracer{&a, &b}}, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{1})
+		} else {
+			r.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out lost events: a=%d b=%d, want 1 each", a.Len(), b.Len())
+	}
+}
+
 func TestNoTracerNoPanic(t *testing.T) {
 	_, err := RunSimple(2, func(r *Rank) error {
 		if r.ID() == 0 {

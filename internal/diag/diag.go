@@ -18,12 +18,12 @@ import (
 
 // Summary holds scalar diagnostics of the flow state (all global).
 type Summary struct {
-	Mass          float64 // integral of density
-	KineticEnergy float64 // integral of rho |u|^2 / 2
-	InternalEnGy  float64 // integral of p / (gamma - 1)
-	MaxMach       float64 // max |u| / c
-	MinDensity    float64
-	MaxDensity    float64
+	Mass           float64 // integral of density
+	KineticEnergy  float64 // integral of rho |u|^2 / 2
+	InternalEnergy float64 // integral of p / (gamma - 1)
+	MaxMach        float64 // max |u| / c
+	MinDensity     float64
+	MaxDensity     float64
 }
 
 // Compute evaluates the scalar diagnostics. Collective (vector
@@ -75,19 +75,39 @@ func Compute(s *solver.Solver) Summary {
 	mins := s.Rank.Allreduce(comm.OpMin, []float64{minRho})
 	s.Rank.SetSite("")
 	return Summary{
-		Mass:          sums[0],
-		KineticEnergy: sums[1],
-		InternalEnGy:  sums[2],
-		MaxMach:       maxes[0],
-		MaxDensity:    maxes[1],
-		MinDensity:    mins[0],
+		Mass:           sums[0],
+		KineticEnergy:  sums[1],
+		InternalEnergy: sums[2],
+		MaxMach:        maxes[0],
+		MaxDensity:     maxes[1],
+		MinDensity:     mins[0],
 	}
+}
+
+// Scalars returns the summary as a flat name -> value map, the form the
+// telemetry step stream embeds per timestep.
+func (d Summary) Scalars() map[string]float64 {
+	return map[string]float64{
+		"mass":            d.Mass,
+		"kinetic_energy":  d.KineticEnergy,
+		"internal_energy": d.InternalEnergy,
+		"max_mach":        d.MaxMach,
+		"min_density":     d.MinDensity,
+		"max_density":     d.MaxDensity,
+	}
+}
+
+// StepScalars is a solver.Config.StepDiag hook: it computes the scalar
+// diagnostics (collectively — every rank must run it, which the step
+// loop guarantees) and returns them for the step record.
+func StepScalars(s *solver.Solver) map[string]float64 {
+	return Compute(s).Scalars()
 }
 
 // String implements fmt.Stringer.
 func (d Summary) String() string {
 	return fmt.Sprintf("mass=%.9f KE=%.6e IE=%.6e maxMach=%.4f rho=[%.4f,%.4f]",
-		d.Mass, d.KineticEnergy, d.InternalEnGy, d.MaxMach, d.MinDensity, d.MaxDensity)
+		d.Mass, d.KineticEnergy, d.InternalEnergy, d.MaxMach, d.MinDensity, d.MaxDensity)
 }
 
 // Spectrum is the global mean modal Legendre energy of one field per

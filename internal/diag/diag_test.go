@@ -34,8 +34,8 @@ func TestSummaryQuiescentFlow(t *testing.T) {
 			t.Errorf("density range [%v, %v]", d.MinDensity, d.MaxDensity)
 		}
 		wantIE := volume * (1 / solver.Gamma) / (solver.Gamma - 1)
-		if math.Abs(d.InternalEnGy-wantIE) > 1e-9 {
-			t.Errorf("IE = %v, want %v", d.InternalEnGy, wantIE)
+		if math.Abs(d.InternalEnergy-wantIE) > 1e-9 {
+			t.Errorf("IE = %v, want %v", d.InternalEnergy, wantIE)
 		}
 		if d.String() == "" {
 			t.Error("empty summary string")

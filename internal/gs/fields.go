@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // OpFields performs the gather-scatter over k field vectors at once,
@@ -27,6 +28,7 @@ func (g *GS) OpFields(fields [][]float64, op comm.ReduceOp, m Method) {
 	}
 	g.rank.SetSite("gs_op")
 	defer g.rank.SetSite("")
+	defer g.spans.Span("gs_op_fields", obs.CatGS)()
 
 	k := len(fields)
 	ns := len(g.ids)

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // Method selects the exchange algorithm.
@@ -105,6 +106,8 @@ type GS struct {
 	bigLen       int
 
 	method Method // current default method (set by Tune or SetMethod)
+
+	spans *obs.RankTracer // telemetry spans around exchanges (nil = off)
 }
 
 // Setup builds a gather-scatter handle for the given id vector: ids[i] is
@@ -345,6 +348,10 @@ func (g *GS) FeasibleMethods() []Method {
 	return Methods
 }
 
+// SetSpanner attaches a telemetry span recorder: every exchange emits
+// one span on the owning rank's track. nil (the default) disables it.
+func (g *GS) SetSpanner(rt *obs.RankTracer) { g.spans = rt }
+
 // Method returns the currently selected default exchange method.
 func (g *GS) Method() Method { return g.method }
 
@@ -366,6 +373,7 @@ func (g *GS) OpWith(values []float64, op comm.ReduceOp, m Method) {
 	}
 	g.rank.SetSite("gs_op")
 	defer g.rank.SetSite("")
+	defer g.spans.Span("gs_op", obs.CatGS)()
 
 	// Gather: combine local occurrences into one partial per id.
 	for s, grp := range g.groups {

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"repro/internal/comm"
+)
+
+// MsgSizeBuckets are the fixed histogram bounds (bytes) for wire
+// message sizes — the Figure 10 axis, live.
+var MsgSizeBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// CommTracer adapts the comm layer's wire-level message stream into the
+// telemetry layer: each comm.TraceEvent becomes a Perfetto flow event
+// between the source and destination rank tracks (virtual-time domain)
+// and charges the per-op counters and the message-size histogram.
+// Install it via comm.Options.Tracer; Record is called from many rank
+// goroutines concurrently and is safe for concurrent use.
+type CommTracer struct {
+	trace *Tracer // nil: no flow events
+	msgs  *Counter
+	bytes *Counter
+	sizes *Histogram
+}
+
+// NewCommTracer builds the adapter. Either argument may be nil: trace
+// nil records metrics only, reg nil records flows only.
+func NewCommTracer(trace *Tracer, reg *Registry) *CommTracer {
+	c := &CommTracer{trace: trace}
+	if reg != nil {
+		c.msgs = reg.Counter("comm.msgs")
+		c.bytes = reg.Counter("comm.bytes")
+		c.sizes = reg.Histogram("comm.msg_bytes", MsgSizeBuckets)
+	}
+	return c
+}
+
+// Record implements comm.Tracer.
+func (c *CommTracer) Record(e comm.TraceEvent) {
+	if c.trace != nil {
+		c.trace.AddFlow(Flow{
+			Src: e.Src, Dst: e.Dst, Tag: e.Tag, Bytes: e.Bytes,
+			SendVT: e.SendVT, ArriveVT: e.ArriveVT, Site: e.Site,
+		})
+	}
+	if c.msgs != nil {
+		c.msgs.Add(1)
+		c.bytes.Add(e.Bytes)
+		c.sizes.Observe(float64(e.Bytes))
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry: named counters,
+// gauges, and fixed-bucket histograms. All ranks of a run share one
+// registry; instruments are get-or-create, so independent layers can
+// charge the same metric. Snapshot serializes the whole registry for
+// expvar and the step-metrics stream.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first
+// use. Nil registries return a throwaway counter, so charge sites need
+// no telemetry-enabled checks.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named last-value gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given ascending upper bounds on first use (later calls reuse the
+// first bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a point-in-time copy of every counter value.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Snapshot returns the full registry state as a JSON-ready tree — the
+// value served under expvar and embedded in step records.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]any, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.snapshot()
+	}
+	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}
+}
+
+// Counter is a monotonic int64 counter, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value float64 gauge, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// len(bounds)+1 buckets, where bucket i holds values <= bounds[i] and
+// the last bucket is the overflow. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64
+	n      int64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe counts one observation of v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// HistBucket is one bucket of a histogram snapshot: the count of
+// observations <= Le. Le is rendered as a string ("+Inf" for the
+// overflow bucket) because JSON cannot carry infinities.
+type HistBucket struct {
+	Le string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+type histSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := histSnapshot{Count: h.n, Sum: h.sum, Buckets: make([]HistBucket, len(h.counts))}
+	for i, c := range h.counts {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		out.Buckets[i] = HistBucket{Le: le, N: c}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. The format is the JSON Object Format of
+// the Trace Event specification, which both chrome://tracing and
+// ui.perfetto.dev load directly: a "traceEvents" array of events with
+// phase ("ph"), microsecond timestamp ("ts"), and process/thread ids.
+//
+// The export lays the run out as two Perfetto "processes", one per
+// clock domain — pid 1 is the netmodel virtual-time domain (the modeled
+// cluster, where flow arrows for wire messages live), pid 2 is the host
+// wall-clock domain — with one thread (track) per rank in each.
+
+// Perfetto process ids for the two clock domains.
+const (
+	PidVirtual = 1
+	PidWall    = 2
+)
+
+// traceEvent is one entry of the traceEvents array. Fields beyond
+// ph/ts/pid/tid are optional per phase and omitted when empty.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WritePerfetto exports the collected spans and flows as Chrome
+// trace-event JSON. Load the file at ui.perfetto.dev (or
+// chrome://tracing): the virtual-time process shows the modeled
+// cluster-scale timeline with one track per rank and a flow arrow per
+// wire message; the wall process shows the same spans against host
+// time.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	spans := t.Spans()
+	flows := t.Flows()
+
+	// Name the processes and every rank track that appears.
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	for _, f := range flows {
+		ranks[f.Src] = true
+		ranks[f.Dst] = true
+	}
+	sorted := make([]int, 0, len(ranks))
+	for r := range ranks {
+		sorted = append(sorted, r)
+	}
+	sort.Ints(sorted)
+
+	events := make([]traceEvent, 0, 2+2*len(sorted)+2*len(spans)+2*len(flows))
+	meta := func(pid int, tid int, name, value string) {
+		events = append(events, traceEvent{
+			Name: name, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta(PidVirtual, 0, "process_name", "cmtbone ranks (modeled virtual time)")
+	meta(PidWall, 0, "process_name", "cmtbone ranks (host wall time)")
+	for _, r := range sorted {
+		meta(PidVirtual, r, "thread_name", rankLabel(r))
+		meta(PidWall, r, "thread_name", rankLabel(r))
+	}
+
+	for _, s := range spans {
+		events = append(events,
+			traceEvent{
+				Name: s.Name, Cat: string(s.Cat), Ph: "X", Pid: PidVirtual, Tid: s.Rank,
+				Ts: s.VTStart * usPerSec, Dur: (s.VTEnd - s.VTStart) * usPerSec,
+			},
+			traceEvent{
+				Name: s.Name, Cat: string(s.Cat), Ph: "X", Pid: PidWall, Tid: s.Rank,
+				Ts: s.WallStart * usPerSec, Dur: (s.WallEnd - s.WallStart) * usPerSec,
+			})
+	}
+
+	for i, f := range flows {
+		id := int64(i + 1)
+		args := map[string]any{"bytes": f.Bytes, "tag": f.Tag}
+		name := "msg"
+		if f.Site != "" {
+			name = "msg@" + f.Site
+		}
+		events = append(events,
+			traceEvent{
+				Name: name, Cat: "comm", Ph: "s", Pid: PidVirtual, Tid: f.Src,
+				Ts: f.SendVT * usPerSec, ID: id, Args: args,
+			},
+			traceEvent{
+				Name: name, Cat: "comm", Ph: "f", BP: "e", Pid: PidVirtual, Tid: f.Dst,
+				Ts: f.ArriveVT * usPerSec, ID: id, Args: args,
+			})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func rankLabel(r int) string {
+	// Zero-pad to keep Perfetto's lexicographic track ordering numeric.
+	const digits = "0123456789"
+	if r < 0 || r >= 10000 {
+		return "rank ?"
+	}
+	return "rank " + string([]byte{
+		digits[r/1000], digits[r/100%10], digits[r/10%10], digits[r%10],
+	})
+}

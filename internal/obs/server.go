@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Live endpoints: an opt-in debug HTTP server exposing Go's pprof
+// profiles and the expvar variable tree (which includes the telemetry
+// registry) while a long run is in flight:
+//
+//	/debug/pprof/   — CPU, heap, goroutine, block, mutex profiles
+//	/debug/vars     — expvar JSON, with the registry under "cmtbone"
+//
+// attach with `go tool pprof http://host:addr/debug/pprof/profile` or
+// `curl host:addr/debug/vars | jq .cmtbone`.
+
+var (
+	liveReg     atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// publishExpvar exposes reg under the expvar name "cmtbone". expvar
+// names are process-global and re-publishing panics, so the variable is
+// registered once and indirects through an atomic pointer to the most
+// recently served registry.
+func publishExpvar(reg *Registry) {
+	liveReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("cmtbone", expvar.Func(func() any {
+			return liveReg.Load().Snapshot()
+		}))
+	})
+}
+
+// DebugServer is a running debug endpoint server.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server on addr (e.g. ":6060"; use ":0" for an
+// ephemeral port) serving pprof and expvar, with reg published under
+// the expvar name "cmtbone". It returns once the listener is bound; the
+// server runs until Close.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	publishExpvar(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	// A private mux: the pprof/expvar side effects on
+	// http.DefaultServeMux depend on import order, and a dedicated mux
+	// keeps the server limited to the debug endpoints.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The step-metrics stream: one JSONL record per timestep, aggregating
+// every rank's load/wait/comm split for that step. This is the
+// machine-diffable trajectory Section VI's network-model data wants and
+// the per-rank, per-step load telemetry dynamic load balancing studies
+// consume — diff two runs' streams to compare configurations.
+
+// RankStep is one rank's share of one timestep.
+type RankStep struct {
+	Rank int `json:"rank"`
+	// VT is the rank's virtual clock at the end of the step.
+	VT float64 `json:"vt"`
+	// Compute is modeled seconds of local computation during the step.
+	Compute float64 `json:"compute_s"`
+	// Wait is modeled seconds blocked on receives during the step.
+	Wait float64 `json:"wait_s"`
+	// Comm is total modeled seconds inside communication operations
+	// during the step (Wait is the blocking share of it).
+	Comm float64 `json:"comm_s"`
+	// Bytes is payload bytes this rank sent during the step.
+	Bytes int64 `json:"bytes"`
+}
+
+// StepRecord is one line of the stream.
+type StepRecord struct {
+	Step int     `json:"step"`
+	T    float64 `json:"t"`  // simulated time after the step
+	Dt   float64 `json:"dt"` // step size
+	GS   string  `json:"gs"` // gather-scatter method in use
+	// Ranks holds every rank's split, ordered by rank.
+	Ranks []RankStep `json:"ranks"`
+	// Diag carries flow-diagnostic scalars (diag.Summary) when a
+	// per-step diagnostic hook is installed.
+	Diag map[string]float64 `json:"diag,omitempty"`
+	// Counters is the registry counter snapshot at the time the record
+	// was sealed (cumulative, not per-step).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// StepCollector assembles per-rank step reports into StepRecords and
+// writes each completed record as one JSON line, in step order. It is
+// safe for concurrent use by all rank goroutines; a nil collector
+// ignores reports.
+type StepCollector struct {
+	size int
+	reg  *Registry // optional: counter snapshots folded into records
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	pending map[int]*StepRecord
+	next    int
+	err     error
+	records int
+}
+
+// NewStepCollector returns a collector for size ranks writing JSONL to
+// w. reg, when non-nil, contributes counter snapshots to each record
+// and live step/dt gauges.
+func NewStepCollector(w io.Writer, size int, reg *Registry) *StepCollector {
+	return &StepCollector{size: size, reg: reg, w: bufio.NewWriter(w), pending: map[int]*StepRecord{}}
+}
+
+// Report records one rank's share of one step. The record for a step is
+// sealed and written when all ranks have reported it; diag is taken
+// from the first reporter that passes a non-nil map (every rank
+// computes identical global values, so any one serves).
+func (c *StepCollector) Report(step int, t, dt float64, gsName string, rs RankStep, diag map[string]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.pending[step]
+	if !ok {
+		rec = &StepRecord{Step: step, T: t, Dt: dt, GS: gsName}
+		c.pending[step] = rec
+	}
+	rec.Ranks = append(rec.Ranks, rs)
+	if rec.Diag == nil && diag != nil {
+		rec.Diag = diag
+	}
+	if len(rec.Ranks) < c.size {
+		return
+	}
+	// Sealed: flush every consecutive completed step in order.
+	for {
+		rec, ok := c.pending[c.next]
+		if !ok || len(rec.Ranks) < c.size {
+			return
+		}
+		delete(c.pending, c.next)
+		c.next++
+		sort.Slice(rec.Ranks, func(i, j int) bool { return rec.Ranks[i].Rank < rec.Ranks[j].Rank })
+		if c.reg != nil {
+			rec.Counters = c.reg.Counters()
+			c.reg.Gauge("step.last").Set(float64(rec.Step))
+			c.reg.Gauge("step.dt").Set(rec.Dt)
+			c.reg.Gauge("step.t").Set(rec.T)
+		}
+		line, err := json.Marshal(rec)
+		if err == nil {
+			_, err = c.w.Write(append(line, '\n'))
+		}
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		c.records++
+	}
+}
+
+// Flush writes out buffered records and returns the first write or
+// marshal error, plus how many records were sealed. Call it after the
+// run completes.
+func (c *StepCollector) Flush() (records int, err error) {
+	if c == nil {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil && c.err == nil {
+		c.err = err
+	}
+	if len(c.pending) > 0 && c.err == nil {
+		c.err = fmt.Errorf("obs: %d step(s) never completed (missing rank reports)", len(c.pending))
+	}
+	return c.records, c.err
+}
+
+// ReadSteps parses a JSONL step-metrics stream back into records (the
+// input of report summaries and run-to-run diffs).
+func ReadSteps(r io.Reader) ([]StepRecord, error) {
+	var out []StepRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec StepRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("obs: bad step record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// TelemetrySummary renders a digest of a step-metrics stream (the JSONL
+// records emitted by obs.StepCollector): per-rank modeled time split into
+// compute / wait / comm with load-balance bars, the aggregate exchange
+// volume, and the simulated-time trajectory. It is the post-run view of
+// the same data the Perfetto trace shows span by span.
+func TelemetrySummary(recs []obs.StepRecord) string {
+	var b strings.Builder
+	b.WriteString("Telemetry — step-metrics stream summary\n")
+	if len(recs) == 0 {
+		b.WriteString("(no step records)\n")
+		return b.String()
+	}
+
+	first, last := recs[0], recs[len(recs)-1]
+	fmt.Fprintf(&b, "steps %d..%d  sim time %.6g -> %.6g  dt %.3g -> %.3g  gs=%s\n",
+		first.Step, last.Step, first.T, last.T, first.Dt, last.Dt, last.GS)
+
+	// Per-rank totals over the whole stream.
+	type rankTot struct {
+		compute, wait, comm float64
+		bytes               int64
+		vt                  float64
+	}
+	tot := map[int]*rankTot{}
+	for _, rec := range recs {
+		for _, rs := range rec.Ranks {
+			rt := tot[rs.Rank]
+			if rt == nil {
+				rt = &rankTot{}
+				tot[rs.Rank] = rt
+			}
+			rt.compute += rs.Compute
+			rt.wait += rs.Wait
+			rt.comm += rs.Comm
+			rt.bytes += rs.Bytes
+			if rs.VT > rt.vt {
+				rt.vt = rs.VT
+			}
+		}
+	}
+	ranks := make([]int, 0, len(tot))
+	for r := range tot {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	maxVT := 0.0
+	for _, rt := range tot {
+		if rt.vt > maxVT {
+			maxVT = rt.vt
+		}
+	}
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s  %s\n",
+		"rank", "compute (s)", "wait (s)", "comm (s)", "sent (MB)", "modeled time (share of slowest rank)")
+	var totalBytes int64
+	for _, r := range ranks {
+		rt := tot[r]
+		frac := 0.0
+		if maxVT > 0 {
+			frac = rt.vt / maxVT
+		}
+		fmt.Fprintf(&b, "%-6d %12.6f %12.6f %12.6f %12.3f  |%s| %.1f%%\n",
+			r, rt.compute, rt.wait, rt.comm, float64(rt.bytes)/1e6, bar(frac, 30), frac*100)
+		totalBytes += rt.bytes
+	}
+	fmt.Fprintf(&b, "total bytes sent %d (%.3f MB) over %d steps, %.1f KB/step/rank\n",
+		totalBytes, float64(totalBytes)/1e6, len(recs),
+		float64(totalBytes)/1e3/float64(len(recs))/float64(len(ranks)))
+
+	// Diagnostics trajectory, if the stream carried any.
+	if len(first.Diag) > 0 && len(last.Diag) > 0 {
+		keys := make([]string, 0, len(first.Diag))
+		for k := range first.Diag {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("diagnostics (first -> last step):\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-18s %14.6e -> %14.6e\n", k, first.Diag[k], last.Diag[k])
+		}
+	}
+	return b.String()
+}

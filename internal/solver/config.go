@@ -22,6 +22,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mesh"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -124,6 +125,20 @@ type Config struct {
 	// Machine is the processor model used to advance the virtual clock
 	// for behavioral emulation (default hw.Generic).
 	Machine hw.Machine
+
+	// Obs, when non-nil, receives per-rank telemetry spans for every
+	// timestep, RK stage, kernel, and exchange (export with
+	// Obs.WritePerfetto). Shared by all ranks; recording never touches
+	// the virtual clock, so modeled results are unchanged.
+	Obs *obs.Tracer
+	// Steps, when non-nil, receives one step-metrics record per
+	// timestep per rank (the JSONL stream). Shared by all ranks.
+	Steps *obs.StepCollector
+	// StepDiag, when non-nil, runs once per timestep after the step and
+	// its result is embedded in the step record. It executes on every
+	// rank (so it may be collective, e.g. diag.StepScalars); only
+	// meaningful together with Steps.
+	StepDiag func(*Solver) map[string]float64
 }
 
 // DefaultConfig returns a small, fully periodic setup for p ranks:

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -63,7 +64,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 
 	// --- compute_primitive: velocity and pressure once per point,
 	// shared by all 15 (field, direction) flux evaluations below.
-	stop := s.Prof.Start("compute_primitive")
+	stop := s.span("compute_primitive", obs.CatKernel)
 	rho, mx, my, mz, en := in[IRho], in[IMomX], in[IMomY], in[IMomZ], in[IEnergy]
 	vx, vy, vz, pr := s.velP[0], s.velP[1], s.velP[2], s.prP
 	for i := 0; i < vol; i++ {
@@ -73,9 +74,9 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 		vz[i] = mz[i] * inv
 		pr[i] = (Gamma - 1) * (en[i] - 0.5*(mx[i]*vx[i]+my[i]*vy[i]+mz[i]*vz[i]))
 	}
-	stop()
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 8, Add: int64(vol) * 3,
 		Load: int64(vol) * NumFields, Store: int64(vol) * 4}, pointwiseTraits)
+	stop()
 
 	// --- velocity/temperature gradients for the viscous stress (twelve
 	// more passes of the derivative kernel).
@@ -84,13 +85,13 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	}
 
 	// --- full2face_cmt: gather the surface traces of the state.
-	stop = s.Prof.Start("full2face_cmt")
+	stop = s.span("full2face_cmt", obs.CatKernel)
 	var moveOps sem.OpCount
 	for c := 0; c < NumFields; c++ {
 		moveOps = moveOps.Plus(sem.Full2Face(n, in[c], nel, s.faceU[c]))
 	}
-	stop()
 	s.chargeCompute(moveOps, pointwiseTraits)
+	stop()
 
 	// --- derivative kernel (ax_): volume flux divergence, the dominant
 	// cost. For each field and direction: pointwise flux, then the
@@ -103,7 +104,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 			s.div[i] = 0
 		}
 		for d := 0; d < 3; d++ {
-			stop = s.Prof.Start("compute_flux")
+			stop = s.span("compute_flux", obs.CatKernel)
 			vn := s.velP[d]
 			switch {
 			case c == IRho:
@@ -126,22 +127,22 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 			if viscous {
 				s.addViscousFlux(c, d)
 			}
-			stop()
 			s.chargeCompute(sem.OpCount{Mul: int64(vol), Add: int64(vol),
 				Load: int64(vol) * 2, Store: int64(vol)}, pointwiseTraits)
+			stop()
 
 			if viscous {
-				stop = s.Prof.Start("full2face_cmt")
+				stop = s.span("full2face_cmt", obs.CatKernel)
 				moveOps = sem.Full2FaceDir(n, s.fx, nel, s.faceF[c], d)
-				stop()
 				s.chargeCompute(moveOps, pointwiseTraits)
+				stop()
 			}
 
 			dir := sem.Direction(d)
-			stop = s.Prof.Start("ax_deriv_" + dir.String())
+			stop = s.span("ax_deriv_"+dir.String(), obs.CatKernel)
 			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.fx, s.dwork, nel)
-			stop()
 			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
+			stop()
 
 			for i := range s.div {
 				s.div[i] += s.rx * s.dwork[i]
@@ -158,7 +159,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	// at face points is evaluated directly from the local trace (the
 	// viscous path extracted it from the volume flux above).
 	if !viscous {
-		stop = s.Prof.Start("compute_flux_surface")
+		stop = s.span("compute_flux_surface", obs.CatKernel)
 		var us, fs [NumFields]float64
 		var velPt [3]float64
 		for e := 0; e < nel; e++ {
@@ -180,15 +181,15 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 				}
 			}
 		}
-		stop()
 		s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * 6, Add: int64(faceLen) * 4,
 			Load: int64(faceLen) * 2, Store: int64(faceLen)}, pointwiseTraits)
+		stop()
 	}
 
 	// --- gs_op: nearest-neighbor exchange of state and flux traces.
 	// After the exchange each shared face point holds in+out sums;
 	// unshared (true boundary) points are untouched.
-	stop = s.Prof.Start("gs_op")
+	stop = s.span("gs_op", obs.CatGS)
 	for c := 0; c < NumFields; c++ {
 		copy(s.exU[c], s.faceU[c])
 		copy(s.exF[c], s.faceF[c])
@@ -210,7 +211,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	// lift factor, scatter-added into the volume residual. Boundary
 	// face points (bmask == 0) either pass untouched (freestream) or
 	// see a mirror ghost state (slip wall).
-	stop = s.Prof.Start("numerical_flux")
+	stop = s.span("numerical_flux", obs.CatKernel)
 	lam := s.lambda
 	wall := s.Cfg.BC == BCWall
 	for c := 0; c < NumFields; c++ {
@@ -242,15 +243,15 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 		}
 		sem.Face2FullAdd(n, dst, nel, s.rhs[c])
 	}
-	stop()
 	s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * NumFields * 4, Add: int64(faceLen) * NumFields * 4,
 		Load: int64(faceLen) * NumFields * 4, Store: int64(faceLen) * NumFields}, pointwiseTraits)
+	stop()
 
 	// --- source terms: the conservation law's R (multiphase coupling).
 	// Zero — i.e. absent — in the paper's current CMT-bone; populated by
 	// couplers such as the particle cloud.
 	if s.Source[0] != nil {
-		stop = s.Prof.Start("source_terms")
+		stop = s.span("source_terms", obs.CatKernel)
 		for c := 0; c < NumFields; c++ {
 			src := s.Source[c]
 			dst := s.rhs[c]
@@ -258,20 +259,20 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 				dst[i] += src[i]
 			}
 		}
-		stop()
 		s.chargeCompute(sem.OpCount{Add: int64(vol) * NumFields,
 			Load: 2 * int64(vol) * NumFields, Store: int64(vol) * NumFields}, pointwiseTraits)
+		stop()
 	}
 
 	// --- dealiasing: map each field to the fine mesh and back (cost
 	// path of the dealiased flux evaluation).
 	if s.Cfg.Dealias {
-		stop = s.Prof.Start("dealias")
+		stop = s.span("dealias", obs.CatKernel)
 		var ops sem.OpCount
 		for c := 0; c < NumFields; c++ {
 			ops = ops.Plus(s.Ref.DealiasRoundTrip(s.rhs[c], nel, s.fineBf, s.deaScr))
 		}
-		stop()
 		s.chargeCompute(ops, pointwiseTraits)
+		stop()
 	}
 }

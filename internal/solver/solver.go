@@ -8,6 +8,7 @@ import (
 	"repro/internal/gs"
 	"repro/internal/hw"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/sem"
 )
@@ -67,6 +68,12 @@ type Solver struct {
 
 	// Lambda is the current global maximum wave speed (set by Lambda()).
 	lambda float64
+
+	// Telemetry (nil handles record nothing).
+	rt        *obs.RankTracer // this rank's span recorder
+	prevSplit comm.OpTotals   // MPI totals at the end of the last step
+	prevVT    float64         // virtual clock at the end of the last step
+	simTime   float64         // accumulated simulated time
 }
 
 // New builds a solver on rank r. Collective: every rank must call it with
@@ -93,6 +100,7 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		Ref:   ref,
 		Prof:  prof.New(),
 		rx:    2, // reference element [-1,1] onto unit cube
+		rt:    cfg.Obs.Rank(r.ID(), r.Clock()),
 	}
 	n3 := cfg.N * cfg.N * cfg.N
 	vol := local.Nel * n3
@@ -156,17 +164,34 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 
 	// Gather-scatter over DG face-point ids (gs_setup, with its
 	// generalized all-to-all discovery phase).
-	stop := s.Prof.Start("gs_setup")
+	stop := s.span("gs_setup", obs.CatComm)
 	s.gsh = gs.Setup(r, local.DGFaceIDs())
 	stop()
+	s.gsh.SetSpanner(s.rt)
 	if cfg.AutoTune {
-		stop := s.Prof.Start("gs_autotune")
+		stop := s.span("gs_autotune", obs.CatComm)
 		gs.TuneModeled(s.gsh, cfg.TuneTrials)
 		stop()
 	} else {
 		s.gsh.SetMethod(cfg.GSMethod)
 	}
 	return s, nil
+}
+
+// span opens both a profiler region and a telemetry span under the same
+// name, returning the closure ending both. Close it after the kernel's
+// chargeCompute so the span's virtual-time extent covers the modeled
+// cost of the work.
+func (s *Solver) span(name string, cat obs.Category) func() {
+	stopProf := s.Prof.Start(name)
+	if s.rt == nil {
+		return stopProf
+	}
+	stopSpan := s.rt.Span(name, cat)
+	return func() {
+		stopProf()
+		stopSpan()
+	}
 }
 
 // GS exposes the face gather-scatter handle (for reporting).

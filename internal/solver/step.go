@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -12,6 +13,7 @@ import (
 // (allreduce max, one of the mini-app's vector reductions).
 func (s *Solver) MaxWaveSpeed() float64 {
 	stop := s.Prof.Start("wave_speed")
+	stopSpan := s.rt.Span("wave_speed", obs.CatKernel)
 	local := 0.0
 	var u [NumFields]float64
 	for i := range s.U[IRho] {
@@ -29,9 +31,12 @@ func (s *Solver) MaxWaveSpeed() float64 {
 	stop()
 	s.chargeCompute(sem.OpCount{Mul: int64(len(s.U[IRho])) * 8, Add: int64(len(s.U[IRho])) * 5,
 		Load: int64(len(s.U[IRho])) * NumFields, Store: 0}, pointwiseTraits)
+	stopSpan()
+	stopRed := s.rt.Span("glmax", obs.CatComm)
 	s.Rank.SetSite("glmax")
 	out := s.Rank.Allreduce(comm.OpMax, []float64{local})
 	s.Rank.SetSite("")
+	stopRed()
 	s.lambda = out[0]
 	return out[0]
 }
@@ -51,14 +56,14 @@ func (s *Solver) StableDt() float64 {
 
 // Step advances the state by one SSP-RK3 step of size dt. Collective.
 func (s *Solver) Step(dt float64) {
-	stop := s.Prof.Start("timestep")
+	stop := s.span("timestep", obs.CatStep)
 	defer stop()
 
 	vol := len(s.U[IRho])
 
 	// Stage 1: u1 = U + dt RHS(U).
 	s.computeRHS(&s.U)
-	stopUpd := s.Prof.Start("rk_update")
+	stopUpd := s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, rc, o := s.U[c], s.rhs[c], s.u1[c]
 		for i := 0; i < vol; i++ {
@@ -68,7 +73,7 @@ func (s *Solver) Step(dt float64) {
 	stopUpd()
 	// Stage 2: u2 = 3/4 U + 1/4 (u1 + dt RHS(u1)).
 	s.computeRHS(&s.u1)
-	stopUpd = s.Prof.Start("rk_update")
+	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u1c, rc, o := s.U[c], s.u1[c], s.rhs[c], s.u2[c]
 		for i := 0; i < vol; i++ {
@@ -78,29 +83,62 @@ func (s *Solver) Step(dt float64) {
 	stopUpd()
 	// Stage 3: U = 1/3 U + 2/3 (u2 + dt RHS(u2)).
 	s.computeRHS(&s.u2)
-	stopUpd = s.Prof.Start("rk_update")
+	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u2c, rc := s.U[c], s.u2[c], s.rhs[c]
 		for i := 0; i < vol; i++ {
 			uc[i] = uc[i]/3 + 2.0/3.0*(u2c[i]+dt*rc[i])
 		}
 	}
-	stopUpd()
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * NumFields * 6, Add: int64(vol) * NumFields * 4,
 		Load: int64(vol) * NumFields * 8, Store: int64(vol) * NumFields * 3}, pointwiseTraits)
+	stopUpd()
 
 	// Spectral filter (shock-capturing proxy): attenuate the highest
 	// Legendre modes of every conserved field.
 	if s.filterMat != nil {
-		stopF := s.Prof.Start("spectral_filter")
+		stopF := s.span("spectral_filter", obs.CatKernel)
 		var ops sem.OpCount
 		for c := 0; c < NumFields; c++ {
 			ops = ops.Plus(sem.FilterElements(s.filterMat, s.Cfg.N, s.U[c], s.Local.Nel,
 				s.Cfg.FilterStrength, s.filterScratch))
 		}
-		stopF()
 		s.chargeCompute(ops, pointwiseTraits)
+		stopF()
 	}
+}
+
+// stepTelemetry emits this rank's share of the finished step into the
+// configured step collector: the virtual clock and per-bucket MPI
+// deltas since the previous step, split into compute / wait / comm
+// modeled seconds. It reads clocks and profiles but advances nothing,
+// so the modeled run is identical with telemetry on or off.
+func (s *Solver) stepTelemetry(step int, dt float64) {
+	s.simTime += dt
+	if s.Cfg.Steps == nil {
+		return
+	}
+	var dg map[string]float64
+	if s.Cfg.StepDiag != nil {
+		dg = s.Cfg.StepDiag(s)
+	}
+	tot := s.Rank.Profile().Totals()
+	vt := s.Rank.Clock().Now()
+	commS := tot.Modeled - s.prevSplit.Modeled
+	compute := (vt - s.prevVT) - commS
+	if compute < 0 {
+		compute = 0
+	}
+	s.Cfg.Steps.Report(step, s.simTime, dt, s.gsh.Method().String(), obs.RankStep{
+		Rank:    s.Rank.ID(),
+		VT:      vt,
+		Compute: compute,
+		Wait:    tot.Wait - s.prevSplit.Wait,
+		Comm:    commS,
+		Bytes:   tot.BytesSent - s.prevSplit.BytesSent,
+	}, dg)
+	s.prevSplit = tot
+	s.prevVT = vt
 }
 
 // DtController implements growth-limited adaptive time stepping (the
@@ -139,6 +177,7 @@ func (s *Solver) RunAdaptive(steps int, ctl *DtController) (Report, []float64) {
 	for i := 0; i < steps; i++ {
 		dt = ctl.Next(s.StableDt())
 		s.Step(dt)
+		s.stepTelemetry(i, dt)
 		hist = append(hist, dt)
 	}
 	s.Prof.Finish()
@@ -170,6 +209,7 @@ func (s *Solver) Run(steps int) Report {
 	for i := 0; i < steps; i++ {
 		dt = s.StableDt()
 		s.Step(dt)
+		s.stepTelemetry(i, dt)
 	}
 	s.Prof.Finish()
 	return Report{

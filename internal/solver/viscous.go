@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -37,7 +38,7 @@ func (s *Solver) computeGradients(in *[NumFields][]float64) {
 	vol := len(s.prP)
 
 	// Temperature with the gas constant R = 1: T = p / rho.
-	stop := s.Prof.Start("compute_primitive")
+	stop := s.span("compute_primitive", obs.CatKernel)
 	tq := s.gradQ[gradT]
 	rho := in[IRho]
 	for i := 0; i < vol; i++ {
@@ -46,16 +47,16 @@ func (s *Solver) computeGradients(in *[NumFields][]float64) {
 	copy(s.gradQ[gradVx], s.velP[0])
 	copy(s.gradQ[gradVy], s.velP[1])
 	copy(s.gradQ[gradVz], s.velP[2])
-	stop()
 	s.chargeCompute(sem.OpCount{Mul: int64(vol), Load: 2 * int64(vol), Store: int64(vol)}, pointwiseTraits)
+	stop()
 
 	for q := 0; q < numGradQ; q++ {
 		for d := 0; d < 3; d++ {
 			dir := sem.Direction(d)
-			stop := s.Prof.Start("ax_deriv_" + dir.String())
+			stop := s.span("ax_deriv_"+dir.String(), obs.CatKernel)
 			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.gradQ[q], s.gradD[q][d], nel)
-			stop()
 			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
+			stop()
 			// Constant metric: d/dx = rx * d/dr.
 			gd := s.gradD[q][d]
 			for i := range gd {

@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// runWithTelemetry runs a small multi-rank solve, optionally with the
+// full telemetry stack (span tracer, step collector, comm flow adapter)
+// attached, and returns the modeled makespan and the final mass.
+func runWithTelemetry(t *testing.T, telemetry bool) (makespan, mass float64, tel *obs.Tracer) {
+	t.Helper()
+	const np, steps = 4, 3
+	cfg := solver.DefaultConfig(np, 6, 2)
+	opts := cfg.CommOptions(netmodel.QDR)
+	var coll *obs.StepCollector
+	if telemetry {
+		tel = obs.NewTracer()
+		reg := obs.NewRegistry()
+		cfg.Obs = tel
+		coll = obs.NewStepCollector(io.Discard, np, reg)
+		cfg.Steps = coll
+		opts.Tracer = obs.NewCommTracer(tel, reg)
+	}
+	masses := make([]float64, np)
+	stats, err := comm.Run(np, opts, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		s.SetInitial(solver.GaussianPulse(
+			float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+			0.1, 0.5))
+		rep := s.Run(steps)
+		masses[r.ID()] = rep.Mass
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if telemetry {
+		if _, err := coll.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stats.MaxVirtualTime(), masses[0], tel
+}
+
+// TestTelemetryVTInvariance is the telemetry layer's core contract:
+// recording spans, step metrics, and flow events reads the virtual
+// clock but never advances it, so the modeled makespan and the physics
+// are bit-identical with telemetry on or off.
+func TestTelemetryVTInvariance(t *testing.T) {
+	vtOff, massOff, _ := runWithTelemetry(t, false)
+	vtOn, massOn, tel := runWithTelemetry(t, true)
+	if vtOn != vtOff {
+		t.Errorf("telemetry changed the modeled makespan: %v -> %v", vtOff, vtOn)
+	}
+	if massOn != massOff {
+		t.Errorf("telemetry changed the physics: mass %v -> %v", massOff, massOn)
+	}
+	// And it actually observed the run: every rank produced spans, and
+	// every wire message produced a flow.
+	perRank := map[int]int{}
+	for _, s := range tel.Spans() {
+		perRank[s.Rank]++
+	}
+	if len(perRank) != 4 {
+		t.Fatalf("spans cover %d ranks, want 4", len(perRank))
+	}
+	for rank, n := range perRank {
+		if n == 0 {
+			t.Errorf("rank %d recorded no spans", rank)
+		}
+	}
+	if len(tel.Flows()) == 0 {
+		t.Error("no flow events recorded for wire messages")
+	}
+}
