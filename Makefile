@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-sweep bench-workers
 
 all: check
 
@@ -13,13 +13,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy packages (the rank goroutine substrate and the
-# telemetry layer every rank records into) additionally run under the
-# race detector.
+# The concurrency-heavy packages (the rank goroutine substrate, the
+# telemetry layer every rank records into, the intra-rank worker pool,
+# and the gather-scatter + solver paths that drive the pool under
+# rank-level concurrency) additionally run under the race detector.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/...
+	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/pool/... ./internal/gs/... ./internal/sem/...
+	$(GO) test -race -run 'TestWorkers|TestStraggler' ./internal/solver/...
 
-check: vet build test race
+# Quick worker-sweep smoke: the derivative kernel across pool widths
+# (1..NumCPU) plus the gs zero-alloc benches. Fast enough for check/CI;
+# full baselines come from `make bench-workers`.
+bench-sweep:
+	$(GO) test -run xxx -bench 'WorkerSweep|GSAlloc' -benchmem -benchtime 20x . ./internal/gs/
+
+check: vet build test race bench-sweep
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Regenerate the worker-sweep baseline (BENCH_workers_baseline.json).
+bench-workers:
+	$(GO) run ./cmd/kernelbench -n 9 -nel 64 -steps 200 -workersweep -json BENCH_workers_baseline.json

@@ -12,6 +12,7 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/comm"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sem"
 	"repro/internal/solver"
 )
@@ -497,6 +499,85 @@ func BenchmarkAblationAllreduceSize(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(8 * n))
+		})
+	}
+}
+
+// ------------------------------------------------------- Worker sweep
+
+// workerCounts returns 1, 2, 4, ... up to NumCPU (plus NumCPU itself
+// when it is not a power of two) — the intra-rank pool widths the
+// worker-sweep benches cover.
+func workerCounts() []int {
+	ws := []int{1}
+	for w := 2; w <= runtime.NumCPU(); w *= 2 {
+		ws = append(ws, w)
+	}
+	if last := ws[len(ws)-1]; last != runtime.NumCPU() {
+		ws = append(ws, runtime.NumCPU())
+	}
+	return ws
+}
+
+// BenchmarkWorkerSweepDeriv sweeps the intra-rank worker pool over the
+// derivative kernel — the tentpole speedup measurement (on a multi-core
+// host, workers=NumCPU should beat workers=1 by ~NumCPU/2 or better at
+// this shape; on a single-core host the sweep degenerates to one row).
+// Results are bit-identical at every width; only wall time moves.
+func BenchmarkWorkerSweepDeriv(b *testing.B) {
+	const n, nel = 9, 64
+	ref := sem.NewRef1D(n)
+	rng := rand.New(rand.NewSource(1))
+	u := make([]float64, nel*n*n*n)
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	du := make([]float64, len(u))
+	for _, w := range workerCounts() {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			p := pool.New(w)
+			defer p.Close()
+			var ops sem.OpCount
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, dir := range []sem.Direction{sem.DirR, sem.DirS, sem.DirT} {
+					ops = sem.DerivPool(p, dir, sem.Optimized, ref, u, du, nel)
+				}
+			}
+			b.StopTimer()
+			flops := 3 * float64(ops.Flops()) * float64(b.N)
+			b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkWorkerSweepStep sweeps the pool width over a full solver
+// timestep on one rank — the end-to-end effect of intra-rank
+// parallelism on everything between exchanges.
+func BenchmarkWorkerSweepStep(b *testing.B) {
+	for _, w := range workerCounts() {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			cfg := solver.DefaultConfig(1, 8, 2)
+			cfg.Workers = w
+			cfg.Dealias = true
+			_, err := comm.RunSimple(1, func(r *comm.Rank) error {
+				s, err := solver.New(r, cfg)
+				if err != nil {
+					return err
+				}
+				defer s.Close()
+				s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+				dt := s.StableDt()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Step(dt)
+				}
+				b.StopTimer()
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
 		})
 	}
 }

@@ -9,14 +9,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/hw"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/sem"
 )
@@ -48,7 +52,14 @@ func main() {
 	variantName := flag.String("variant", "both", "kernel variant: optimized, basic, or both")
 	machineName := flag.String("machine", hw.Opteron6378.Name, "hw model machine: opteron-6378, i5-2500, generic")
 	sweep := flag.Bool("sweep", false, "sweep N over the paper's 5..25 range (constant total points) instead of one N")
+	workers := flag.Int("workers", 1, "intra-rank worker pool width for the element loop (0 = NumCPU)")
+	workerSweep := flag.Bool("workersweep", false, "sweep the worker count 1,2,4..NumCPU on the derivative kernel")
+	jsonPath := flag.String("json", "", "write the worker-sweep records to this JSON file")
 	cli.Parse()
+
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	machine, err := cli.ParseMachine(*machineName)
 	if err != nil {
@@ -67,16 +78,51 @@ func main() {
 		log.Fatalf("-variant: want optimized, basic, or both, got %q", *variantName)
 	}
 
+	if *workerSweep {
+		runWorkerSweep(variants[0], *n, *nel, *steps, *jsonPath)
+		return
+	}
 	if *sweep {
 		runSweep(machine, variants, *steps)
 		return
 	}
-	runOne(machine, variants, *n, *nel, *steps)
+	runOne(machine, variants, *n, *nel, *steps, *workers)
 }
 
-// runOne benchmarks the three derivative directions at one (N, Nel) and
-// prints the Figure 5/6 tables.
-func runOne(machine hw.Machine, variants []sem.KernelVariant, n, nel, steps int) {
+// sweepRecord is one (direction, workers) measurement of the worker
+// sweep, the schema of the BENCH_*.json baselines.
+type sweepRecord struct {
+	Bench   string  `json:"bench"`
+	N       int     `json:"n"`
+	Nel     int     `json:"nel"`
+	Steps   int     `json:"steps"`
+	Dir     string  `json:"dir"`
+	Variant string  `json:"variant"`
+	Workers int     `json:"workers"`
+	Wall    float64 `json:"wall_seconds"`
+	Gflops  float64 `json:"gflops_per_sec"`
+	Speedup float64 `json:"speedup_vs_serial"`
+	NumCPU  int     `json:"num_cpu"`
+}
+
+// workerCounts returns 1, 2, 4, ... plus NumCPU, deduplicated.
+func workerCounts() []int {
+	var ws []int
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
+		ws = append(ws, w)
+	}
+	if last := ws[len(ws)-1]; last != runtime.NumCPU() {
+		ws = append(ws, runtime.NumCPU())
+	}
+	return ws
+}
+
+// runWorkerSweep times the derivative kernel across worker counts and
+// prints (and optionally records) wall time and speedup versus serial.
+// The element loop is the only thing that parallelizes; results are
+// bit-identical at every width (the solver's determinism test pins
+// that), so this sweep is purely a wall-clock measurement.
+func runWorkerSweep(v sem.KernelVariant, n, nel, steps int, jsonPath string) {
 	ref := sem.NewRef1D(n)
 	n3 := n * n * n
 	rng := rand.New(rand.NewSource(1))
@@ -86,14 +132,69 @@ func runOne(machine hw.Machine, variants []sem.KernelVariant, n, nel, steps int)
 	}
 	du := make([]float64, len(u))
 
-	fmt.Printf("Derivative kernel statistics: N=%d, Nel=%d, %d timesteps, hw model %s\n\n",
-		n, nel, steps, machine.Name)
+	fmt.Printf("Derivative kernel worker sweep: N=%d, Nel=%d, %d steps, NumCPU=%d (%v)\n\n",
+		n, nel, steps, runtime.NumCPU(), v)
+	fmt.Printf("%8s %6s %12s %10s %9s\n", "workers", "dir", "wall(s)", "Gflop/s", "speedup")
 
+	var records []sweepRecord
+	serial := map[string]float64{}
+	for _, w := range workerCounts() {
+		pl := pool.New(w)
+		for _, dir := range []sem.Direction{sem.DirT, sem.DirR, sem.DirS} {
+			start := time.Now()
+			var ops sem.OpCount
+			for s := 0; s < steps; s++ {
+				ops = ops.Plus(sem.DerivPool(pl, dir, v, ref, u, du, nel))
+			}
+			wall := time.Since(start).Seconds()
+			if w == 1 {
+				serial[dir.String()] = wall
+			}
+			speedup := serial[dir.String()] / wall
+			gflops := float64(ops.Flops()) / wall / 1e9
+			fmt.Printf("%8d %6s %12.4f %10.2f %8.2fx\n", w, dir, wall, gflops, speedup)
+			records = append(records, sweepRecord{
+				Bench: "deriv_worker_sweep", N: n, Nel: nel, Steps: steps,
+				Dir: dir.String(), Variant: v.String(), Workers: w,
+				Wall: wall, Gflops: gflops, Speedup: speedup, NumCPU: runtime.NumCPU(),
+			})
+		}
+		pl.Close()
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, 0x0a), 0o644); err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		fmt.Printf("\nwrote %d records to %s\n", len(records), jsonPath)
+	}
+}
+
+// runOne benchmarks the three derivative directions at one (N, Nel) and
+// prints the Figure 5/6 tables.
+func runOne(machine hw.Machine, variants []sem.KernelVariant, n, nel, steps, workers int) {
+	ref := sem.NewRef1D(n)
+	n3 := n * n * n
+	rng := rand.New(rand.NewSource(1))
+	u := make([]float64, nel*n3)
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	du := make([]float64, len(u))
+
+	fmt.Printf("Derivative kernel statistics: N=%d, Nel=%d, %d timesteps, workers=%d, hw model %s\n\n",
+		n, nel, steps, workers, machine.Name)
+
+	pl := pool.New(workers)
+	defer pl.Close()
 	for _, v := range variants {
 		var rows []report.KernelRow
 		// The paper lists dudt first in Figure 5.
 		for _, dir := range []sem.Direction{sem.DirT, sem.DirR, sem.DirS} {
-			wall, ops := timeDeriv(dir, v, ref, u, du, nel, steps)
+			wall, ops := timeDeriv(pl, dir, v, ref, u, du, nel, steps)
 			est := hw.Model(machine, hw.Ops{Mul: ops.Mul, Add: ops.Add, Load: ops.Load, Store: ops.Store},
 				traitsFor(dir, v))
 			rows = append(rows, report.KernelEstimate(dir.String(), wall, est))
@@ -135,7 +236,7 @@ func runSweep(machine hw.Machine, variants []sem.KernelVariant, steps int) {
 		fmt.Printf("%4d %6d", n, nel)
 		for _, v := range variants {
 			for _, dir := range []sem.Direction{sem.DirT, sem.DirR, sem.DirS} {
-				wall, ops := timeDeriv(dir, v, ref, u, du, nel, steps)
+				wall, ops := timeDeriv(nil, dir, v, ref, u, du, nel, steps)
 				gflops := float64(ops.Flops()) / wall / 1e9
 				fmt.Printf(" %14.2f", gflops)
 			}
@@ -144,13 +245,14 @@ func runSweep(machine hw.Machine, variants []sem.KernelVariant, steps int) {
 	}
 }
 
-// timeDeriv runs one direction/variant for the given number of steps and
-// returns total wall seconds and total op counts.
-func timeDeriv(dir sem.Direction, v sem.KernelVariant, ref *sem.Ref1D, u, du []float64, nel, steps int) (float64, sem.OpCount) {
+// timeDeriv runs one direction/variant for the given number of steps on
+// the pool (nil or width 1 runs serially) and returns total wall seconds
+// and total op counts.
+func timeDeriv(pl *pool.Pool, dir sem.Direction, v sem.KernelVariant, ref *sem.Ref1D, u, du []float64, nel, steps int) (float64, sem.OpCount) {
 	start := time.Now()
 	var ops sem.OpCount
 	for s := 0; s < steps; s++ {
-		ops = ops.Plus(sem.Deriv(dir, v, ref, u, du, nel))
+		ops = ops.Plus(sem.DerivPool(pl, dir, v, ref, u, du, nel))
 	}
 	return time.Since(start).Seconds(), ops
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/solver"
 )
 
@@ -42,7 +43,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Perfetto trace of the largest weak-scaling run to this file")
 	metricsOut := flag.String("metrics", "", "write the largest weak-scaling run's step-metrics JSONL to this file")
 	debugAddr := flag.String("debug-addr", "", "serve live pprof and expvar on this address for the whole sweep")
+	workersFlag := flag.Int("workers", 0, "intra-rank worker-pool width (0 = GOMAXPROCS/ranks per run, min 1)")
 	cli.Parse()
+	workers = *workersFlag
 
 	model, err := netmodel.ByName(*netName)
 	if err != nil {
@@ -131,6 +134,11 @@ type t struct {
 	steps  int
 }
 
+// workers is the -workers flag: the intra-rank pool width every
+// measured run uses. 0 picks pool.DefaultWorkers per rank count, so a
+// sweep never oversubscribes the host as ranks grow.
+var workers int
+
 func measure(cfg t, model netmodel.Model) row {
 	return measureTelemetry(cfg, model, nil, "", "")
 }
@@ -143,6 +151,11 @@ func measureTelemetry(cfg t, model netmodel.Model, reg *obs.Registry, traceOut, 
 	if cfg.mode == "strong" {
 		sc.ElemGrid = cfg.global
 	}
+	sc.Workers = workers
+	if sc.Workers == 0 {
+		sc.Workers = pool.DefaultWorkers(cfg.ranks)
+	}
+	sc.Metrics = reg
 	opts := sc.CommOptions(model)
 	var tel *obs.Tracer
 	var traceFile *os.File
@@ -175,6 +188,7 @@ func measureTelemetry(cfg t, model netmodel.Model, reg *obs.Registry, traceOut, 
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		s.SetInitial(solver.GaussianPulse(
 			float64(sc.ElemGrid[0])/2, float64(sc.ElemGrid[1])/2, float64(sc.ElemGrid[2])/2,
 			0.1, 0.5))

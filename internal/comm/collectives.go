@@ -99,19 +99,18 @@ const collTagBase = 1 << 24
 // buffers after each round's send.
 
 func (r *Rank) sendRaw(dst, tag int, data []float64, ints []int64) int64 {
-	m := &message{src: r.id, tag: tag}
-	if data != nil {
-		m.data = append([]float64(nil), data...)
-	}
-	if ints != nil {
-		m.ints = append([]int64(nil), ints...)
-	}
+	m := r.comm.getMessage()
+	m.src, m.tag = r.id, tag
+	m.data = append(m.data[:0], data...)
+	m.ints = append(m.ints[:0], ints...)
+	nbytes := m.bytes()
 	hops := r.comm.hops(r.id, dst)
 	sendVT := r.clock.Now()
-	m.arrival = r.clock.SendStamp(int(m.bytes()), hops)
+	m.arrival = r.clock.SendStamp(int(nbytes), hops)
+	arrival := m.arrival
 	r.comm.boxes[dst].put(m)
-	r.comm.trace(r.id, dst, tag, m.bytes(), hops, sendVT, m.arrival, r.prof.site)
-	return m.bytes()
+	r.comm.trace(r.id, dst, tag, nbytes, hops, sendVT, arrival, r.prof.site)
+	return nbytes
 }
 
 func (r *Rank) recvRaw(src, tag int) *message {
@@ -120,44 +119,60 @@ func (r *Rank) recvRaw(src, tag int) *message {
 	return m
 }
 
-// collStart opens a profiled collective region and returns a completion
-// function recording (wall, modeled, bytes).
-func (r *Rank) collStart(op string) func(bytes int64) {
-	start := time.Now()
-	v0 := r.clock.Now()
-	return func(bytes int64) {
-		r.prof.record(op, time.Since(start).Seconds(), r.clock.Now()-v0, bytes)
-	}
+// freeRaw recycles a raw message whose payload has been fully consumed
+// (combined or copied out). Collectives that hand a message's payload to
+// the caller — Bcast, Scatter, the alltoalls — must NOT free it.
+func (r *Rank) freeRaw(m *message) { r.comm.putMessage(m) }
+
+// collRegion is an open profiled collective region. It is a value (not
+// a returned closure) so opening one costs no heap allocation — the
+// collectives sit on the gs hot path where per-call allocations are
+// banned.
+type collRegion struct {
+	r     *Rank
+	op    string
+	start time.Time
+	v0    float64
+}
+
+// collStart opens a profiled collective region; call done with the
+// bytes sent to record (wall, modeled, bytes).
+func (r *Rank) collStart(op string) collRegion {
+	return collRegion{r: r, op: op, start: time.Now(), v0: r.clock.Now()}
+}
+
+func (c collRegion) done(bytes int64) {
+	c.r.prof.record(c.op, time.Since(c.start).Seconds(), c.r.clock.Now()-c.v0, bytes)
 }
 
 // Barrier blocks until every rank has entered it (dissemination
 // algorithm, ceil(log2 P) rounds).
 func (r *Rank) Barrier() {
-	done := r.collStart("MPI_Barrier")
+	coll := r.collStart("MPI_Barrier")
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 0
 	var bytes int64
 	for k := 1; k < p; k <<= 1 {
 		bytes += r.sendRaw((id+k)%p, tag, nil, nil)
-		r.recvRaw((id-k%p+p)%p, tag)
+		r.freeRaw(r.recvRaw((id-k%p+p)%p, tag))
 	}
-	done(bytes)
+	coll.done(bytes)
 }
 
 // Bcast broadcasts data from root using a binomial tree. Non-root ranks
 // pass nil and receive the broadcast value; root gets its own slice back.
 func (r *Rank) Bcast(root int, data []float64) []float64 {
-	done := r.collStart("MPI_Bcast")
+	coll := r.collStart("MPI_Bcast")
 	d, _, bytes := r.bcastRaw(root, data, nil)
-	done(bytes)
+	coll.done(bytes)
 	return d
 }
 
 // BcastInts is Bcast for int64 payloads.
 func (r *Rank) BcastInts(root int, ints []int64) []int64 {
-	done := r.collStart("MPI_Bcast")
+	coll := r.collStart("MPI_Bcast")
 	_, is, bytes := r.bcastRaw(root, nil, ints)
-	done(bytes)
+	coll.done(bytes)
 	return is
 }
 
@@ -192,7 +207,7 @@ func (r *Rank) bcastRaw(root int, data []float64, ints []int64) ([]float64, []in
 // returned; on other ranks the contents of data are consumed (mutated as
 // scratch) and the return value is nil.
 func (r *Rank) Reduce(op ReduceOp, root int, data []float64) []float64 {
-	done := r.collStart("MPI_Reduce")
+	coll := r.collStart("MPI_Reduce")
 	p, id := r.comm.size, r.id
 	vr := (id - root + p) % p
 	tag := collTagBase + 2
@@ -200,15 +215,16 @@ func (r *Rank) Reduce(op ReduceOp, root int, data []float64) []float64 {
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
 			bytes += r.sendRaw((vr-mask+root)%p, tag, data, nil)
-			done(bytes)
+			coll.done(bytes)
 			return nil
 		}
 		if vr+mask < p {
 			m := r.recvRaw((vr+mask+root)%p, tag)
 			op.combine(data, m.data)
+			r.freeRaw(m)
 		}
 	}
-	done(bytes)
+	coll.done(bytes)
 	return data
 }
 
@@ -224,14 +240,14 @@ const rabenseifnerMinLen = 4096
 // recursive doubling; large vectors use the Rabenseifner
 // reduce-scatter/allgather algorithm.
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
-	done := r.collStart("MPI_Allreduce")
+	coll := r.collStart("MPI_Allreduce")
 	var bytes int64
 	if len(data) >= rabenseifnerMinLen && r.comm.size > 2 {
 		bytes = r.allreduceRabenseifner(op, data)
 	} else {
 		bytes = r.allreduceRaw(op, data, nil)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return data
 }
 
@@ -253,11 +269,13 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 		bytes += r.sendRaw(id-p2, tag, data, nil)
 		m := r.recvRaw(id-p2, tag)
 		copy(data, m.data)
+		r.freeRaw(m)
 		return bytes
 	}
 	if id < rem {
 		m := r.recvRaw(id+p2, tag)
 		op.combine(data, m.data)
+		r.freeRaw(m)
 	}
 
 	n := len(data)
@@ -269,7 +287,8 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 	// current mask bit), so their split points agree.
 	type span struct{ lo, hi int }
 	lo, hi := 0, n
-	var parents []span
+	var parentsArr [64]span // log2(P) deep; stack storage, no per-call alloc
+	parents := parentsArr[:0]
 	for mask := p2 >> 1; mask >= 1; mask >>= 1 {
 		partner := id ^ mask
 		parents = append(parents, span{lo, hi})
@@ -284,6 +303,7 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 		bytes += r.sendRaw(partner, tag, data[sendLo:sendHi], nil)
 		m := r.recvRaw(partner, tag)
 		op.combine(data[keepLo:keepHi], m.data)
+		r.freeRaw(m)
 		lo, hi = keepLo, keepHi
 	}
 	// Allgather by recursive doubling, unwinding the recorded splits.
@@ -298,6 +318,7 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 		} else {
 			copy(data[parent.lo:lo], m.data)
 		}
+		r.freeRaw(m)
 		lo, hi = parent.lo, parent.hi
 	}
 	// Unfold.
@@ -309,24 +330,28 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 
 // AllreduceInts is Allreduce for int64 payloads.
 func (r *Rank) AllreduceInts(op ReduceOp, ints []int64) []int64 {
-	done := r.collStart("MPI_Allreduce")
+	coll := r.collStart("MPI_Allreduce")
 	bytes := r.allreduceRaw(op, nil, ints)
-	done(bytes)
+	coll.done(bytes)
 	return ints
+}
+
+// combineFrom folds a received message into the local buffers and
+// recycles it.
+func (r *Rank) combineFrom(op ReduceOp, data []float64, ints []int64, m *message) {
+	if data != nil {
+		op.combine(data, m.data)
+	}
+	if ints != nil {
+		op.combineInts(ints, m.ints)
+	}
+	r.freeRaw(m)
 }
 
 func (r *Rank) allreduceRaw(op ReduceOp, data []float64, ints []int64) int64 {
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 3
 	var bytes int64
-	combineMsg := func(m *message) {
-		if data != nil {
-			op.combine(data, m.data)
-		}
-		if ints != nil {
-			op.combineInts(ints, m.ints)
-		}
-	}
 	// Fold ranks beyond the largest power of two into the lower block.
 	p2 := 1
 	for p2*2 <= p {
@@ -342,16 +367,18 @@ func (r *Rank) allreduceRaw(op ReduceOp, data []float64, ints []int64) int64 {
 		if ints != nil {
 			copy(ints, m.ints)
 		}
+		r.freeRaw(m)
 		return bytes
 	}
 	if id < rem {
-		combineMsg(r.recvRaw(id+p2, tag))
+		m := r.recvRaw(id+p2, tag)
+		r.combineFrom(op, data, ints, m)
 	}
 	// Recursive doubling among the power-of-two block.
 	for mask := 1; mask < p2; mask <<= 1 {
 		partner := id ^ mask
 		bytes += r.sendRaw(partner, tag, data, ints)
-		combineMsg(r.recvRaw(partner, tag))
+		r.combineFrom(op, data, ints, r.recvRaw(partner, tag))
 	}
 	if id < rem {
 		bytes += r.sendRaw(id+p2, tag, data, ints)
@@ -362,12 +389,12 @@ func (r *Rank) allreduceRaw(op ReduceOp, data []float64, ints []int64) int64 {
 // Gather collects fixed-size contributions onto root, concatenated in
 // rank order. Non-root ranks receive nil.
 func (r *Rank) Gather(root int, data []float64) []float64 {
-	done := r.collStart("MPI_Gather")
+	coll := r.collStart("MPI_Gather")
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 4
 	if id != root {
 		bytes := r.sendRaw(root, tag, data, nil)
-		done(bytes)
+		coll.done(bytes)
 		return nil
 	}
 	out := make([]float64, len(data)*p)
@@ -379,14 +406,14 @@ func (r *Rank) Gather(root int, data []float64) []float64 {
 		m := r.recvRaw(src, tag)
 		copy(out[src*len(data):], m.data)
 	}
-	done(0)
+	coll.done(0)
 	return out
 }
 
 // Scatter distributes consecutive equal chunks of send (significant only
 // on root) to every rank and returns this rank's chunk of length n.
 func (r *Rank) Scatter(root int, send []float64, n int) []float64 {
-	done := r.collStart("MPI_Scatter")
+	coll := r.collStart("MPI_Scatter")
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 5
 	if id == root {
@@ -404,18 +431,18 @@ func (r *Rank) Scatter(root int, send []float64, n int) []float64 {
 		}
 		out := make([]float64, n)
 		copy(out, send[id*n:(id+1)*n])
-		done(bytes)
+		coll.done(bytes)
 		return out
 	}
 	m := r.recvRaw(root, tag)
-	done(0)
+	coll.done(0)
 	return m.data
 }
 
 // Allgather concatenates each rank's fixed-size contribution in rank
 // order on every rank (ring algorithm, P-1 steps).
 func (r *Rank) Allgather(data []float64) []float64 {
-	done := r.collStart("MPI_Allgather")
+	coll := r.collStart("MPI_Allgather")
 	p, id := r.comm.size, r.id
 	n := len(data)
 	tag := collTagBase + 6
@@ -432,14 +459,14 @@ func (r *Rank) Allgather(data []float64) []float64 {
 		cur = (cur - 1 + p) % p
 		copy(out[cur*n:], m.data)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return out
 }
 
 // AllgatherInts is Allgather for one int64 per rank, the form the
 // gather-scatter setup uses to learn global sizes.
 func (r *Rank) AllgatherInts(v int64) []int64 {
-	done := r.collStart("MPI_Allgather")
+	coll := r.collStart("MPI_Allgather")
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 7
 	out := make([]int64, p)
@@ -453,7 +480,7 @@ func (r *Rank) AllgatherInts(v int64) []int64 {
 		cur = (cur - 1 + p) % p
 		out[cur] = m.ints[0]
 	}
-	done(bytes)
+	coll.done(bytes)
 	return out
 }
 
@@ -461,7 +488,7 @@ func (r *Rank) AllgatherInts(v int64) []int64 {
 // and the result holds one chunk from every rank, in rank order. This is
 // the generalized all-to-all the gather-scatter discovery phase uses.
 func (r *Rank) Alltoall(send []float64, n int) []float64 {
-	done := r.collStart("MPI_Alltoall")
+	coll := r.collStart("MPI_Alltoall")
 	p, id := r.comm.size, r.id
 	if len(send) != n*p {
 		panic(fmt.Sprintf("comm: alltoall needs %d values, got %d", n*p, len(send)))
@@ -479,7 +506,7 @@ func (r *Rank) Alltoall(send []float64, n int) []float64 {
 		m := r.recvRaw(src, tag)
 		copy(out[src*n:], m.data)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return out
 }
 
@@ -487,7 +514,7 @@ func (r *Rank) Alltoall(send []float64, n int) []float64 {
 // to rank i. It returns the received values concatenated in rank order
 // along with the per-source counts.
 func (r *Rank) AlltoallvInts(send []int64, sendCounts []int) (recv []int64, recvCounts []int) {
-	done := r.collStart("MPI_Alltoallv")
+	coll := r.collStart("MPI_Alltoallv")
 	p, id := r.comm.size, r.id
 	if len(sendCounts) != p {
 		panic(fmt.Sprintf("comm: alltoallv needs %d counts, got %d", p, len(sendCounts)))
@@ -522,13 +549,13 @@ func (r *Rank) AlltoallvInts(send []int64, sendCounts []int) (recv []int64, recv
 	for _, c := range chunks {
 		recv = append(recv, c...)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return recv, recvCounts
 }
 
 // Alltoallv is AlltoallvInts for float64 payloads.
 func (r *Rank) Alltoallv(send []float64, sendCounts []int) (recv []float64, recvCounts []int) {
-	done := r.collStart("MPI_Alltoallv")
+	coll := r.collStart("MPI_Alltoallv")
 	p, id := r.comm.size, r.id
 	if len(sendCounts) != p {
 		panic(fmt.Sprintf("comm: alltoallv needs %d counts, got %d", p, len(sendCounts)))
@@ -563,6 +590,6 @@ func (r *Rank) Alltoallv(send []float64, sendCounts []int) (recv []float64, recv
 	for _, c := range chunks {
 		recv = append(recv, c...)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return recv, recvCounts
 }

@@ -65,6 +65,26 @@ type Comm struct {
 	periodic [3]bool
 	hasGrid  bool
 	tracer   Tracer
+
+	// msgPool recycles message envelopes (and their payload capacity)
+	// between sends. Messages only return here through Request.Free —
+	// recycling is opt-in, so payload slices handed out by Recv/Wait
+	// stay valid indefinitely unless the receiver frees them.
+	msgPool sync.Pool
+}
+
+// getMessage returns a recycled message envelope, or a fresh one.
+func (c *Comm) getMessage() *message {
+	if m, ok := c.msgPool.Get().(*message); ok {
+		return m
+	}
+	return &message{}
+}
+
+// putMessage returns a message to the pool, keeping payload capacity.
+func (c *Comm) putMessage(m *message) {
+	m.src, m.tag, m.arrival = 0, 0, 0
+	c.msgPool.Put(m)
 }
 
 // Size returns the number of ranks.

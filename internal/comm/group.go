@@ -122,19 +122,19 @@ func (g *Group) Recv(src, tag int) []float64 {
 // Barrier blocks until every group member has entered it (dissemination
 // over the group's members).
 func (g *Group) Barrier() {
-	done := g.r.collStart("MPI_Barrier")
+	coll := g.r.collStart("MPI_Barrier")
 	p, id := len(g.members), g.myIdx
 	var bytes int64
 	for k := 1; k < p; k <<= 1 {
 		bytes += g.r.sendRaw(g.members[(id+k)%p], g.tag(0), nil, nil)
 		g.r.recvRaw(g.members[(id-k%p+p)%p], g.tag(0))
 	}
-	done(bytes)
+	coll.done(bytes)
 }
 
 // Bcast broadcasts from group root (binomial tree over the group).
 func (g *Group) Bcast(root int, data []float64) []float64 {
-	done := g.r.collStart("MPI_Bcast")
+	coll := g.r.collStart("MPI_Bcast")
 	p, id := len(g.members), g.myIdx
 	vr := (id - root + p) % p
 	var bytes int64
@@ -153,14 +153,14 @@ func (g *Group) Bcast(root int, data []float64) []float64 {
 			bytes += g.r.sendRaw(g.members[(id+mask)%p], g.tag(1), data, nil)
 		}
 	}
-	done(bytes)
+	coll.done(bytes)
 	return data
 }
 
 // Allreduce combines data across the group (recursive doubling with a
 // fold for non-power-of-two group sizes), updating data in place.
 func (g *Group) Allreduce(op ReduceOp, data []float64) []float64 {
-	done := g.r.collStart("MPI_Allreduce")
+	coll := g.r.collStart("MPI_Allreduce")
 	p, id := len(g.members), g.myIdx
 	tag := g.tag(2)
 	var bytes int64
@@ -173,7 +173,7 @@ func (g *Group) Allreduce(op ReduceOp, data []float64) []float64 {
 		bytes += g.r.sendRaw(g.members[id-p2], tag, data, nil)
 		m := g.r.recvRaw(g.members[id-p2], tag)
 		copy(data, m.data)
-		done(bytes)
+		coll.done(bytes)
 		return data
 	}
 	if id < rem {
@@ -189,14 +189,14 @@ func (g *Group) Allreduce(op ReduceOp, data []float64) []float64 {
 	if id < rem {
 		bytes += g.r.sendRaw(g.members[id+p2], tag, data, nil)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return data
 }
 
 // Allgather concatenates each member's fixed-size contribution in group
 // order on every member (ring over the group).
 func (g *Group) Allgather(data []float64) []float64 {
-	done := g.r.collStart("MPI_Allgather")
+	coll := g.r.collStart("MPI_Allgather")
 	p, id := len(g.members), g.myIdx
 	n := len(data)
 	tag := g.tag(3)
@@ -213,6 +213,6 @@ func (g *Group) Allgather(data []float64) []float64 {
 		cur = (cur - 1 + p) % p
 		copy(out[cur*n:], m.data)
 	}
-	done(bytes)
+	coll.done(bytes)
 	return out
 }

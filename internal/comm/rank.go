@@ -44,24 +44,25 @@ func (r *Rank) checkPeer(peer int) {
 	}
 }
 
-// deliver copies the payload into a fresh message (eager-buffered send,
+// deliver copies the payload into a message (eager-buffered send,
 // MPI_Bsend semantics: the caller's buffer is reusable immediately),
 // stamps its modeled arrival time, and drops it into the destination
-// mailbox.
-func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) *message {
-	m := &message{src: r.id, tag: tag}
-	if data != nil {
-		m.data = append([]float64(nil), data...)
-	}
-	if ints != nil {
-		m.ints = append([]int64(nil), ints...)
-	}
+// mailbox. It returns the payload byte count — not the message, which
+// belongs to the receiver the moment it is enqueued (the receiver may
+// consume and recycle it at any time).
+func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
+	m := r.comm.getMessage()
+	m.src, m.tag = r.id, tag
+	m.data = append(m.data[:0], data...)
+	m.ints = append(m.ints[:0], ints...)
+	nbytes := m.bytes()
 	hops := r.comm.hops(r.id, dst)
 	sendVT := r.clock.Now()
-	m.arrival = r.clock.SendStamp(int(m.bytes()), hops)
+	m.arrival = r.clock.SendStamp(int(nbytes), hops)
+	arrival := m.arrival
 	r.comm.boxes[dst].put(m)
-	r.comm.trace(r.id, dst, tag, m.bytes(), hops, sendVT, m.arrival, r.prof.site)
-	return m
+	r.comm.trace(r.id, dst, tag, nbytes, hops, sendVT, arrival, r.prof.site)
+	return nbytes
 }
 
 // receive finalizes a matched message: the virtual clock waits for its
@@ -76,24 +77,36 @@ func (r *Rank) receive(m *message) float64 {
 func (r *Rank) Send(dst, tag int, data []float64) {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, tag, data, nil)
-	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+	nbytes := r.deliver(dst, tag, data, nil)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
 }
 
 // SendInts sends an int64 payload.
 func (r *Rank) SendInts(dst, tag int, ints []int64) {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, tag, nil, ints)
-	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+	nbytes := r.deliver(dst, tag, nil, ints)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
 }
 
 // SendMsg sends a mixed payload of floats and ints in one message.
 func (r *Rank) SendMsg(dst, tag int, data []float64, ints []int64) {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, tag, data, ints)
-	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
+	nbytes := r.deliver(dst, tag, data, ints)
+	r.prof.record("MPI_Send", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
+}
+
+// IsendMsg starts a nonblocking send of a mixed float/int payload and
+// discards the request — sends are eager, so the request of an Isend is
+// complete the moment it is created and waiting on it is free. Hot
+// exchange paths use this to post sends without allocating a Request;
+// it records as MPI_Isend, exactly like Isend.
+func (r *Rank) IsendMsg(dst, tag int, data []float64, ints []int64) {
+	r.checkPeer(dst)
+	start := time.Now()
+	nbytes := r.deliver(dst, tag, data, ints)
+	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -131,10 +144,10 @@ func (r *Rank) recvCommon(op string, src, tag int) ([]float64, []int64, int) {
 func (r *Rank) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, sendTag, data, nil)
+	nbytes := r.deliver(dst, sendTag, data, nil)
 	in := r.comm.boxes[r.id].take(src, recvTag)
 	wait := r.receive(in)
-	r.prof.record("MPI_Sendrecv", time.Since(start).Seconds(), wait+r.comm.model.Alpha, m.bytes()+in.bytes())
+	r.prof.record("MPI_Sendrecv", time.Since(start).Seconds(), wait+r.comm.model.Alpha, nbytes+in.bytes())
 	return in.data
 }
 

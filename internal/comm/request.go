@@ -16,32 +16,44 @@ type Request struct {
 
 // Isend starts a nonblocking send of a float payload. The returned request
 // is already complete; Wait on it is free. See Send for buffer ownership.
+// The request does not retain the message — that belongs to the receiver
+// from the moment it is enqueued.
 func (r *Rank) Isend(dst, tag int, data []float64) *Request {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, tag, data, nil)
-	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
-	return &Request{rank: r, msg: m, done: true, isSend: true}
+	nbytes := r.deliver(dst, tag, data, nil)
+	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
+	return &Request{rank: r, done: true, isSend: true}
 }
 
 // IsendInts starts a nonblocking send of an int payload.
 func (r *Rank) IsendInts(dst, tag int, ints []int64) *Request {
 	r.checkPeer(dst)
 	start := time.Now()
-	m := r.deliver(dst, tag, nil, ints)
-	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, m.bytes())
-	return &Request{rank: r, msg: m, done: true, isSend: true}
+	nbytes := r.deliver(dst, tag, nil, ints)
+	r.prof.record("MPI_Isend", time.Since(start).Seconds(), r.comm.model.Alpha, nbytes)
+	return &Request{rank: r, done: true, isSend: true}
 }
 
 // Irecv posts a nonblocking receive for a message from src with tag.
 // Matching happens lazily: Wait blocks until a matching message arrives.
 // src may be AnySource and tag AnyTag.
 func (r *Rank) Irecv(src, tag int) *Request {
+	req := &Request{}
+	r.IrecvInto(req, src, tag)
+	return req
+}
+
+// IrecvInto is Irecv posting into a caller-owned Request, for hot paths
+// that repost the same receives every exchange and must not allocate.
+// Any previous contents of req are overwritten; req must not have an
+// incomplete receive outstanding.
+func (r *Rank) IrecvInto(req *Request, src, tag int) {
 	if src != AnySource {
 		r.checkPeer(src)
 	}
 	start := time.Now()
-	req := &Request{rank: r, src: src, tag: tag}
+	*req = Request{rank: r, src: src, tag: tag}
 	// Eagerly match an already-queued message so Test/Wait on a
 	// satisfied receive is cheap and ordering mirrors posting order.
 	if m := r.comm.boxes[r.id].tryTake(src, tag); m != nil {
@@ -49,7 +61,6 @@ func (r *Rank) Irecv(src, tag int) *Request {
 		req.done = true
 	}
 	r.prof.record("MPI_Irecv", time.Since(start).Seconds(), 0, 0)
-	return req
 }
 
 // Test reports whether the request has completed, matching a queued
@@ -96,6 +107,20 @@ func (req *Request) Source() int {
 		return AnySource
 	}
 	return req.msg.src
+}
+
+// Free returns a completed receive's message envelope (and its payload
+// capacity) to the communicator's buffer pool. The payload slices
+// returned by Wait must not be used after Free. Freeing is optional —
+// unfreed messages are simply left to the garbage collector — and only
+// meaningful on receive requests: the receiver owns a message, so send
+// requests and incomplete receives are left untouched.
+func (req *Request) Free() {
+	if req.isSend || !req.done || req.msg == nil {
+		return
+	}
+	req.rank.comm.putMessage(req.msg)
+	req.msg = nil
 }
 
 // WaitAll completes every request in order (MPI_Waitall).

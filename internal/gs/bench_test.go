@@ -1,0 +1,161 @@
+package gs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// Allocation benchmarks for the exchange hot paths. The acceptance bar
+// is zero per-call heap allocations in steady state: every buffer an
+// exchange needs (send packing, requests, item/staging arrays, the big
+// dense vector) lives on the handle after the first call, and messages
+// recycle through the communicator's pool. Run with -benchmem; allocs/op
+// should read 0 (the occasional GC-emptied sync.Pool refill aside).
+
+// benchIDs builds the block-overlap ring pattern: rank r holds blk
+// consecutive ids starting at r*(blk-overlap) modulo the ring, so each
+// rank shares `overlap` ids with each of its two neighbors — the
+// face-exchange shape of the solver, with payloads big enough to matter.
+func benchIDs(r, p, blk, overlap int) []int64 {
+	ids := make([]int64, blk)
+	ring := int64(p * (blk - overlap))
+	base := int64(r * (blk - overlap))
+	for i := range ids {
+		ids[i] = (base + int64(i)) % ring
+	}
+	return ids
+}
+
+// benchExchange drives one exchange method from every rank with the
+// timer (and allocation accounting) enabled only in steady state, after
+// warm-up ops have sized all persistent buffers.
+func benchExchange(b *testing.B, p int, fn func(b *testing.B, r *comm.Rank, g *GS, vals []float64)) {
+	b.Helper()
+	_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+		g := Setup(r, benchIDs(r.ID(), p, 512, 32))
+		vals := make([]float64, 512)
+		for i := range vals {
+			vals[i] = float64(i%7) + 1
+		}
+		fn(b, r, g, vals)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// steadyLoop runs op b.N times on each rank, warming 3 times first and
+// fencing the measured region with barriers so rank 0's timer brackets
+// exactly the steady-state ops.
+func steadyLoop(b *testing.B, r *comm.Rank, op func()) {
+	for w := 0; w < 3; w++ {
+		op()
+	}
+	r.Barrier()
+	if r.ID() == 0 {
+		b.ReportAllocs()
+		b.ResetTimer()
+	}
+	r.Barrier()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	r.Barrier()
+	if r.ID() == 0 {
+		b.StopTimer()
+	}
+}
+
+func BenchmarkGSAllocPairwise(b *testing.B) {
+	benchExchange(b, 8, func(b *testing.B, r *comm.Rank, g *GS, vals []float64) {
+		steadyLoop(b, r, func() { g.OpWith(vals, comm.OpSum, Pairwise) })
+	})
+}
+
+func BenchmarkGSAllocCrystal(b *testing.B) {
+	benchExchange(b, 8, func(b *testing.B, r *comm.Rank, g *GS, vals []float64) {
+		steadyLoop(b, r, func() { g.OpWith(vals, comm.OpSum, CrystalRouter) })
+	})
+}
+
+func BenchmarkGSAllocAllReduce(b *testing.B) {
+	benchExchange(b, 8, func(b *testing.B, r *comm.Rank, g *GS, vals []float64) {
+		steadyLoop(b, r, func() { g.OpWith(vals, comm.OpSum, AllReduce) })
+	})
+}
+
+func BenchmarkGSAllocPairwiseFields(b *testing.B) {
+	const k = 5 // the solver's five conserved variables
+	benchExchange(b, 8, func(b *testing.B, r *comm.Rank, g *GS, vals []float64) {
+		fields := make([][]float64, k)
+		for fi := range fields {
+			fields[fi] = append([]float64(nil), vals...)
+		}
+		steadyLoop(b, r, func() { g.OpFields(fields, comm.OpSum, Pairwise) })
+	})
+}
+
+// TestExchangeSteadyStateAllocs is the testable form of the -benchmem
+// criterion: after warm-up, repeated exchanges must not churn the heap.
+// With GC pinned (so sync.Pool contents are stable) the whole-process
+// malloc delta across p ranks each doing opsPerRank steady exchanges
+// must stay under a tiny per-op budget; any per-call send buffer,
+// request, item slice, or message allocation blows through it
+// immediately (each op moves dozens of messages).
+func TestExchangeSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates on its own")
+	}
+	const p = 8
+	const opsPerRank = 20
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, m := range []Method{Pairwise, CrystalRouter, AllReduce} {
+		var mallocs uint64
+		_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+			g := Setup(r, benchIDs(r.ID(), p, 512, 32))
+			vals := make([]float64, 512)
+			for i := range vals {
+				vals[i] = float64(i%7) + 1
+			}
+			// Warm: size all persistent buffers and fill message pools.
+			for w := 0; w < 3; w++ {
+				g.OpWith(vals, comm.OpSum, m)
+			}
+			r.Barrier()
+			var m0, m1 runtime.MemStats
+			if r.ID() == 0 {
+				runtime.ReadMemStats(&m0)
+			}
+			r.Barrier()
+			for i := 0; i < opsPerRank; i++ {
+				g.OpWith(vals, comm.OpSum, m)
+			}
+			r.Barrier()
+			if r.ID() == 0 {
+				runtime.ReadMemStats(&m1)
+				atomic.StoreUint64(&mallocs, m1.Mallocs-m0.Mallocs)
+			}
+			r.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Budget: the fence barriers and MemStats bookkeeping cost a few
+		// allocations; a leaky exchange costs hundreds per op.
+		perOp := float64(mallocs) / float64(p*opsPerRank)
+		t.Logf("%v: %d mallocs over %d ops (%.2f/op)", m, mallocs, p*opsPerRank, perOp)
+		if perOp > 1.0 {
+			t.Errorf("%v: %d mallocs over %d steady-state ops (%.2f/op), want ~0",
+				m, mallocs, p*opsPerRank, perOp)
+		}
+	}
+}

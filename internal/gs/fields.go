@@ -79,6 +79,17 @@ func (g *GS) OpFields(fields [][]float64, op comm.ReduceOp, m Method) {
 	}
 }
 
+// fieldsSendBuf returns the persistent packed send buffer for neighbor
+// q, grown to at least n and sliced to exactly n.
+func (g *GS) fieldsSendBuf(q, n int) []float64 {
+	buf := g.fieldsSendBufs[q]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		g.fieldsSendBufs[q] = buf
+	}
+	return buf[:n]
+}
+
 // exchangePairwiseFields is exchangePairwise with k-field packed
 // messages: for each neighbor one message carrying, for every shared
 // slot, the k field partials contiguously (slot-major).
@@ -86,34 +97,35 @@ func (g *GS) exchangePairwiseFields(op comm.ReduceOp, partial []float64, k int) 
 	r := g.rank
 	ns := len(g.ids)
 	for _, nb := range g.neighbors {
-		buf := make([]float64, k*len(nb.slots))
+		buf := g.fieldsSendBuf(nb.rank, k*len(nb.slots))
 		for i, s := range nb.slots {
 			for fi := 0; fi < k; fi++ {
 				buf[i*k+fi] = partial[fi*ns+s]
 			}
 		}
-		r.Isend(nb.rank, gsTag+2, buf)
-	}
-	reqs := make([]*comm.Request, len(g.neighbors))
-	for i, nb := range g.neighbors {
-		reqs[i] = r.Irecv(nb.rank, gsTag+2)
+		r.IsendMsg(nb.rank, gsTag+2, buf, nil)
 	}
 	for i, nb := range g.neighbors {
-		data, _ := reqs[i].Wait()
+		r.IrecvInto(&g.reqs[i], nb.rank, gsTag+2)
+	}
+	for i, nb := range g.neighbors {
+		data, _ := g.reqs[i].Wait()
 		for j, s := range nb.slots {
 			for fi := 0; fi < k; fi++ {
 				partial[fi*ns+s] = combine2(op, partial[fi*ns+s], data[j*k+fi])
 			}
 		}
+		g.reqs[i].Free()
 	}
 }
 
 // exchangeAllReduceFields is the big-vector method over k fields stacked
-// into one k-times-longer dense vector.
+// into one k-times-longer dense vector (persistent handle scratch,
+// identity-reset in place).
 func (g *GS) exchangeAllReduceFields(op comm.ReduceOp, partial []float64, k int) {
 	g.ensureBigVector()
 	ns := len(g.ids)
-	big := make([]float64, k*g.bigLen)
+	big := g.bigScratch(k * g.bigLen)
 	id := identity(op)
 	for i := range big {
 		big[i] = id

@@ -89,12 +89,31 @@ type GS struct {
 	partial  []float64
 	sendBufs map[int][]float64 // reusable per-neighbor assembly buffers
 
-	fieldsPartial []float64 // reusable k-field partial buffer (OpFields)
+	fieldsPartial  []float64         // reusable k-field partial buffer (OpFields)
+	fieldsSendBufs map[int][]float64 // reusable per-neighbor packed buffers (OpFields)
 
 	neighbors []neighbor // ascending rank order
 
+	// Persistent receive requests for the pairwise paths (one per
+	// neighbor) and the crystal-router stage exchange, so the steady-state
+	// exchange posts no allocations.
+	reqs []comm.Request
+	creq comm.Request
+
 	// crystal-router id lookup
 	slotOf map[int64]int
+
+	// crystal-router reusable routing state: three item buffers rotated
+	// between the live set, the keep partition, and the send partition,
+	// plus message staging and a persistent sorter for the per-stage merge.
+	itemsA, itemsB, itemsC []item
+	stageVals              []float64
+	stageInts              []int64
+	sorter                 itemSorter
+
+	// all_reduce persistent dense-vector scratch, identity-reset in place
+	// on every exchange.
+	bigVec []float64
 
 	// all_reduce big vector: globally consistent compact index over
 	// remotely-shared ids. Built lazily on first use — at scale it is
@@ -117,7 +136,11 @@ func Setup(r *comm.Rank, ids []int64) *GS {
 	r.SetSite("gs_setup")
 	defer r.SetSite("")
 
-	g := &GS{rank: r, n: len(ids), method: Pairwise, sendBufs: map[int][]float64{}}
+	g := &GS{
+		rank: r, n: len(ids), method: Pairwise,
+		sendBufs:       map[int][]float64{},
+		fieldsSendBufs: map[int][]float64{},
+	}
 
 	// Group local indices by id.
 	byID := map[int64][]int{}
@@ -254,7 +277,18 @@ func Setup(r *comm.Rank, ids []int64) *GS {
 		g.neighbors = append(g.neighbors, neighbor{rank: q, slots: nbSlots[q]})
 		g.sendBufs[q] = make([]float64, len(nbSlots[q]))
 	}
+	g.reqs = make([]comm.Request, len(g.neighbors))
 	return g
+}
+
+// bigScratch returns the persistent all_reduce dense-vector scratch,
+// grown to at least n and sliced to exactly n. Contents are whatever the
+// previous exchange left — callers reset with the op identity in place.
+func (g *GS) bigScratch(n int) []float64 {
+	if cap(g.bigVec) < n {
+		g.bigVec = make([]float64, n)
+	}
+	return g.bigVec[:n]
 }
 
 // ensureBigVector lazily builds the globally consistent dense index for

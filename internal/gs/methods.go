@@ -6,6 +6,12 @@ import (
 	"repro/internal/comm"
 )
 
+// The three exchange algorithms. All of them run in the solver's
+// innermost communication path, so they share a discipline: every buffer
+// they need lives on the GS handle and is reused across calls — the
+// steady-state exchange performs zero heap allocations (the gs
+// benchmarks assert this with -benchmem).
+
 // exchangePairwise implements the direct algorithm: one nonblocking send
 // of this rank's partials to every sharing neighbor, then a wait per
 // inbound message, combining as they arrive. This is the method CMT-bone
@@ -20,19 +26,95 @@ func (g *GS) exchangePairwise(op comm.ReduceOp) {
 		for i, s := range nb.slots {
 			buf[i] = g.partial[s]
 		}
-		r.Isend(nb.rank, gsTag, buf)
+		r.IsendMsg(nb.rank, gsTag, buf, nil)
 	}
-	// Post receives, then combine in completion order.
-	reqs := make([]*comm.Request, len(g.neighbors))
+	// Post receives into the persistent requests, then combine in
+	// completion order, recycling each message once combined.
 	for i, nb := range g.neighbors {
-		reqs[i] = r.Irecv(nb.rank, gsTag)
+		r.IrecvInto(&g.reqs[i], nb.rank, gsTag)
 	}
 	for i, nb := range g.neighbors {
-		data, _ := reqs[i].Wait()
+		data, _ := g.reqs[i].Wait()
 		for j, s := range nb.slots {
 			g.partial[s] = combine2(op, g.partial[s], data[j])
 		}
+		g.reqs[i].Free()
 	}
+}
+
+// item is one routed (destination, id, value) tuple of the crystal
+// router.
+type item struct {
+	dest int
+	id   int64
+	val  float64
+}
+
+// itemSorter orders items by (dest, id); kept on the handle so the
+// per-stage merge sorts without allocating a closure (sort.Slice would).
+type itemSorter struct{ items []item }
+
+func (s *itemSorter) Len() int      { return len(s.items) }
+func (s *itemSorter) Swap(i, j int) { s.items[i], s.items[j] = s.items[j], s.items[i] }
+func (s *itemSorter) Less(i, j int) bool {
+	if s.items[i].dest != s.items[j].dest {
+		return s.items[i].dest < s.items[j].dest
+	}
+	return s.items[i].id < s.items[j].id
+}
+
+// sendItems packs its into one message to dst through the persistent
+// staging buffers; the comm layer copies on send, so the staging is
+// reusable as soon as the call returns.
+func (g *GS) sendItems(dst int, its []item) {
+	ints := g.stageInts[:0]
+	vals := g.stageVals[:0]
+	for _, it := range its {
+		ints = append(ints, int64(it.dest), it.id)
+		vals = append(vals, it.val)
+	}
+	g.stageInts, g.stageVals = ints, vals
+	g.rank.IsendMsg(dst, gsTag+1, vals, ints)
+}
+
+// recvItemsInto waits for the posted stage receive, appends its items to
+// dst, recycles the message, and returns the extended slice.
+func (g *GS) recvItemsInto(dst []item) []item {
+	vals, ints := g.creq.Wait()
+	for i := range vals {
+		dst = append(dst, item{dest: int(ints[2*i]), id: ints[2*i+1], val: vals[i]})
+	}
+	g.creq.Free()
+	return dst
+}
+
+// exchangeStage is one staged exchange with partner: post the receive,
+// send this rank's outbound items, and return base extended with the
+// inbound ones. The Irecv/Isend pairing replaces a blocking send-then-
+// receive that silently leaned on unbounded mailbox buffering — under
+// real MPI with bounded buffers, both partners sending a large stage
+// payload first would deadlock.
+func (g *GS) exchangeStage(partner int, send, base []item) []item {
+	g.rank.IrecvInto(&g.creq, partner, gsTag+1)
+	g.sendItems(partner, send)
+	return g.recvItemsInto(base)
+}
+
+// merge combines tuples with equal (dest, id), the per-stage message
+// compaction that makes the router's volume manageable.
+func (g *GS) merge(its []item, op comm.ReduceOp) []item {
+	g.sorter.items = its
+	sort.Sort(&g.sorter)
+	g.sorter.items = nil
+	out := its[:0]
+	for _, it := range its {
+		if n := len(out); n > 0 && out[n-1].dest == it.dest && out[n-1].id == it.id {
+			out[n-1].val = combine2(op, out[n-1].val, it.val)
+		} else {
+			out = append(out, it)
+		}
+	}
+	return out
 }
 
 // exchangeCrystal implements the crystal-router algorithm, "originally
@@ -47,15 +129,14 @@ func (g *GS) exchangeCrystal(op comm.ReduceOp) {
 	p := r.Size()
 	me := r.ID()
 
-	type item struct {
-		dest int
-		id   int64
-		val  float64
-	}
-	var items []item
+	// The live set, the keep partition, and the send staging rotate
+	// through three buffers kept on the handle.
+	cur := g.itemsA[:0]
+	spare := g.itemsB[:0]
+	sendBuf := g.itemsC[:0]
 	for _, nb := range g.neighbors {
 		for _, s := range nb.slots {
-			items = append(items, item{nb.rank, g.ids[s], g.partial[s]})
+			cur = append(cur, item{nb.rank, g.ids[s], g.partial[s]})
 		}
 	}
 
@@ -66,51 +147,16 @@ func (g *GS) exchangeCrystal(op comm.ReduceOp) {
 		p2 *= 2
 	}
 
-	sendItems := func(dst int, its []item) {
-		ints := make([]int64, 0, 2*len(its))
-		vals := make([]float64, 0, len(its))
-		for _, it := range its {
-			ints = append(ints, int64(it.dest), it.id)
-			vals = append(vals, it.val)
-		}
-		r.SendMsg(dst, gsTag+1, vals, ints)
-	}
-	recvItems := func(src int) []item {
-		vals, ints, _ := r.RecvMsg(src, gsTag+1)
-		its := make([]item, len(vals))
-		for i := range vals {
-			its[i] = item{dest: int(ints[2*i]), id: ints[2*i+1], val: vals[i]}
-		}
-		return its
-	}
-	// merge combines tuples with equal (dest, id), the per-stage message
-	// compaction that makes the router's volume manageable.
-	merge := func(its []item) []item {
-		sort.Slice(its, func(i, j int) bool {
-			if its[i].dest != its[j].dest {
-				return its[i].dest < its[j].dest
-			}
-			return its[i].id < its[j].id
-		})
-		out := its[:0]
-		for _, it := range its {
-			if n := len(out); n > 0 && out[n-1].dest == it.dest && out[n-1].id == it.id {
-				out[n-1].val = combine2(op, out[n-1].val, it.val)
-			} else {
-				out = append(out, it)
-			}
-		}
-		return out
-	}
-
 	if me >= p2 {
 		// Park everything on the low partner, then wait for the results
 		// routed back after the hypercube phase.
-		sendItems(me-p2, items)
-		items = recvItems(me - p2)
+		r.IrecvInto(&g.creq, me-p2, gsTag+1)
+		g.sendItems(me-p2, cur)
+		cur = g.recvItemsInto(cur[:0])
 	} else {
 		if me+p2 < p {
-			items = append(items, recvItems(me+p2)...)
+			r.IrecvInto(&g.creq, me+p2, gsTag+1)
+			cur = g.recvItemsInto(cur)
 		}
 		proxy := func(dest int) int {
 			if dest >= p2 {
@@ -121,40 +167,45 @@ func (g *GS) exchangeCrystal(op comm.ReduceOp) {
 		// Hypercube stages.
 		for bit := 1; bit < p2; bit <<= 1 {
 			partner := me ^ bit
-			var keep, send []item
-			for _, it := range items {
+			keep := spare[:0]
+			send := sendBuf[:0]
+			for _, it := range cur {
 				if proxy(it.dest)&bit != me&bit {
 					send = append(send, it)
 				} else {
 					keep = append(keep, it)
 				}
 			}
-			send = merge(send)
-			sendItems(partner, send)
-			keep = append(keep, recvItems(partner)...)
-			items = merge(keep)
+			send = g.merge(send, op)
+			keep = g.exchangeStage(partner, send, keep)
+			// Rotate: the old live buffer becomes the next keep target.
+			cur, spare, sendBuf = g.merge(keep, op), cur, send
 		}
 		// Unfold: hand the high partner its traffic.
 		if me+p2 < p {
-			var mine, theirs []item
-			for _, it := range items {
+			mine := spare[:0]
+			theirs := sendBuf[:0]
+			for _, it := range cur {
 				if it.dest == me+p2 {
 					theirs = append(theirs, it)
 				} else {
 					mine = append(mine, it)
 				}
 			}
-			sendItems(me+p2, theirs)
-			items = mine
+			g.sendItems(me+p2, theirs)
+			cur, spare, sendBuf = mine, cur, theirs
 		}
 	}
 
 	// Everything left is addressed to this rank: combine into partials.
-	for _, it := range items {
+	for _, it := range cur {
 		if s, ok := g.slotOf[it.id]; ok {
 			g.partial[s] = combine2(op, g.partial[s], it.val)
 		}
 	}
+
+	// Keep the grown backing arrays for the next exchange.
+	g.itemsA, g.itemsB, g.itemsC = cur, spare, sendBuf
 }
 
 // exchangeAllReduce implements "all_reduce onto a big vector": partials
@@ -162,9 +213,11 @@ func (g *GS) exchangeCrystal(op comm.ReduceOp) {
 // active ids, padded with op's identity, and a single Allreduce combines
 // everything everywhere. Simple and pattern-oblivious — and, as the
 // paper finds, too expensive for either mini-app at this problem size.
+// The dense vector is persistent handle scratch, identity-reset in place
+// each call.
 func (g *GS) exchangeAllReduce(op comm.ReduceOp) {
 	g.ensureBigVector()
-	big := make([]float64, g.bigLen)
+	big := g.bigScratch(g.bigLen)
 	id := identity(op)
 	for i := range big {
 		big[i] = id

@@ -1,0 +1,8 @@
+//go:build race
+
+package gs
+
+// raceEnabled reports that the race detector is active; allocation
+// accounting is skipped because the instrumented runtime allocates on
+// paths the uninstrumented build does not.
+const raceEnabled = true

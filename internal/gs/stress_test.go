@@ -85,6 +85,74 @@ func TestStressRepeatedOpsManyRanks(t *testing.T) {
 	}
 }
 
+// TestStressCrystalNonPow2LargeStages drives the crystal router at a
+// non-power-of-two rank count with a dense sharing pattern, so every
+// hypercube stage (and the fold/unfold with the parked high ranks)
+// carries a large payload, repeatedly on one handle. This pins down the
+// staged exchange's Irecv/Isend pairing: the old blocking send-then-
+// receive survived only because the in-process mailboxes buffer without
+// bound, and any misrouting or request-reuse bug shows up as wrong sums
+// or a deadlock here.
+func TestStressCrystalNonPow2LargeStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const p = 12   // folds to p2=8 with four parked ranks
+	const n = 4000 // ids per rank, large per-stage payloads
+	rng := rand.New(rand.NewSource(7))
+	ids := make([][]int64, p)
+	values := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		ids[r] = make([]int64, n)
+		values[r] = make([]float64, n)
+		seen := map[int64]bool{}
+		for i := 0; i < n; i++ {
+			id := int64(rng.Intn(3 * n / 2))
+			for seen[id] {
+				id = int64(rng.Intn(3 * n / 2))
+			}
+			seen[id] = true
+			ids[r][i] = id
+			values[r][i] = rng.NormFloat64()
+		}
+	}
+	want := serialGS(ids, values, comm.OpSum)
+	got := make([][]float64, p)
+	_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+		g := Setup(r, ids[r.ID()])
+		v := append([]float64(nil), values[r.ID()]...)
+		// Several back-to-back exchanges on one handle so the reused
+		// item/staging buffers and the persistent stage request see
+		// steady-state traffic, not just first-use.
+		g.OpWith(v, comm.OpSum, CrystalRouter)
+		for iter := 0; iter < 3; iter++ {
+			ones := make([]float64, n)
+			for i := range ones {
+				ones[i] = 1
+			}
+			g.OpWith(ones, comm.OpMax, CrystalRouter)
+			for i, x := range ones {
+				if x != 1 {
+					t.Errorf("rank %d iter %d slot %d: max of ones = %v", r.ID(), iter, i, x)
+					return nil
+				}
+			}
+		}
+		got[r.ID()] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		for i := range want[r] {
+			if math.Abs(got[r][i]-want[r][i]) > 1e-9*(1+math.Abs(want[r][i])) {
+				t.Fatalf("rank %d slot %d = %v, want %v", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
 // TestStressLargeVectors pushes message sizes into the bandwidth regime.
 func TestStressLargeVectors(t *testing.T) {
 	if testing.Short() {

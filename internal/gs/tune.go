@@ -1,6 +1,7 @@
 package gs
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/comm"
@@ -18,15 +19,81 @@ type Timing struct {
 	ModelAvg, ModelMin, ModelMax float64
 }
 
-// Tune times every exchange method trials times on scratch data and
-// selects the winner, which becomes the handle's default method. Like the
-// parent library's startup step ("three gather-scatter methods are
-// evaluated to determine which one performs the best for the given
+// Criterion selects the time base tuning minimizes. Selection always
+// follows the parent library's rule — a collective step is over only
+// when its slowest rank finishes, so the worst rank's time is what
+// counts — but that time can be read off two clocks.
+type Criterion int
+
+const (
+	// ByWallTime minimizes the worst rank's measured host time.
+	ByWallTime Criterion = iota
+	// ByModeledTime minimizes the worst rank's modeled network time —
+	// the right criterion when simulating a cluster-scale machine from a
+	// laptop, where host scheduling noise would otherwise dominate.
+	ByModeledTime
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case ByWallTime:
+		return "wall"
+	case ByModeledTime:
+		return "modeled"
+	}
+	return fmt.Sprintf("Criterion(%d)", int(c))
+}
+
+// SelectBest returns the method whose worst-rank time is smallest under
+// the criterion. Ties keep the earlier entry, so a deterministic timing
+// list yields a deterministic choice on every rank.
+func SelectBest(timings []Timing, crit Criterion) Method {
+	best := timings[0]
+	cost := func(t Timing) float64 {
+		if crit == ByModeledTime {
+			return t.ModelMax
+		}
+		return t.WallMax
+	}
+	for _, t := range timings[1:] {
+		if cost(t) < cost(best) {
+			best = t
+		}
+	}
+	return best.Method
+}
+
+// TuneBy times every feasible exchange method trials times on scratch
+// data and commits the winner under crit as the handle's default method.
+// Like the parent library's startup step ("three gather-scatter methods
+// are evaluated to determine which one performs the best for the given
 // problem setup and machine"), selection minimizes the worst rank's
-// time — a collective step is over only when its slowest rank finishes.
-// Tune is collective; every rank arrives at the same choice. The returned
-// timings are identical on every rank.
+// time. TuneBy is collective; the timings — and therefore the choice —
+// are identical on every rank. The handle's method is written exactly
+// once, after all measurement: it is never transiently set to a
+// different winner mid-tune, so an exchange concurrent with nothing but
+// ordinary use always sees a consistent method.
+func TuneBy(g *GS, trials int, crit Criterion) (Method, []Timing) {
+	timings := g.timeMethods(trials)
+	best := SelectBest(timings, crit)
+	g.method = best
+	return best, timings
+}
+
+// Tune is TuneBy with the wall-time criterion.
 func Tune(g *GS, trials int) (Method, []Timing) {
+	return TuneBy(g, trials, ByWallTime)
+}
+
+// TuneModeled is TuneBy with the modeled-time criterion.
+func TuneModeled(g *GS, trials int) (Method, []Timing) {
+	return TuneBy(g, trials, ByModeledTime)
+}
+
+// timeMethods measures every feasible method without touching the
+// handle's selected method.
+func (g *GS) timeMethods(trials int) []Timing {
 	if trials < 1 {
 		trials = 1
 	}
@@ -68,27 +135,5 @@ func Tune(g *GS, trials int) (Method, []Timing) {
 			ModelAvg: stats[5] / p,
 		})
 	}
-	best := timings[0]
-	for _, t := range timings[1:] {
-		if t.WallMax < best.WallMax {
-			best = t
-		}
-	}
-	g.method = best.Method
-	return best.Method, timings
-}
-
-// TuneModeled is Tune but selects on modeled network time instead of host
-// wall time — the right criterion when simulating a cluster-scale machine
-// from a laptop, where channel overheads would otherwise dominate.
-func TuneModeled(g *GS, trials int) (Method, []Timing) {
-	_, timings := Tune(g, trials)
-	best := timings[0]
-	for _, t := range timings[1:] {
-		if t.ModelMax < best.ModelMax {
-			best = t
-		}
-	}
-	g.method = best.Method
-	return best.Method, timings
+	return timings
 }

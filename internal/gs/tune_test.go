@@ -1,0 +1,88 @@
+package gs
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// When the wall-time and modeled-time winners disagree, each criterion
+// must pick its own winner — the regression behind TuneModeled, which
+// used to commit the wall winner to the handle before re-selecting.
+func TestSelectBestCriteriaDisagree(t *testing.T) {
+	timings := []Timing{
+		{Method: Pairwise, WallMax: 1.0, ModelMax: 9.0},
+		{Method: CrystalRouter, WallMax: 5.0, ModelMax: 2.0},
+		{Method: AllReduce, WallMax: 7.0, ModelMax: 8.0},
+	}
+	if got := SelectBest(timings, ByWallTime); got != Pairwise {
+		t.Fatalf("ByWallTime picked %v, want %v", got, Pairwise)
+	}
+	if got := SelectBest(timings, ByModeledTime); got != CrystalRouter {
+		t.Fatalf("ByModeledTime picked %v, want %v", got, CrystalRouter)
+	}
+}
+
+func TestSelectBestTiesKeepFirst(t *testing.T) {
+	timings := []Timing{
+		{Method: CrystalRouter, WallMax: 3.0, ModelMax: 3.0},
+		{Method: Pairwise, WallMax: 3.0, ModelMax: 3.0},
+	}
+	for _, crit := range []Criterion{ByWallTime, ByModeledTime} {
+		if got := SelectBest(timings, crit); got != CrystalRouter {
+			t.Fatalf("%v tie picked %v, want first entry %v", crit, got, CrystalRouter)
+		}
+	}
+}
+
+// TuneBy must commit exactly the criterion's winner: the handle's method
+// after tuning equals SelectBest over the returned timings, for both
+// criteria, on every rank.
+func TestTuneByCommitsCriterionWinner(t *testing.T) {
+	const p = 4
+	for _, crit := range []Criterion{ByWallTime, ByModeledTime} {
+		choices := make([]Method, p)
+		_, err := comm.RunSimple(p, func(r *comm.Rank) error {
+			ids := make([]int64, 16)
+			for i := range ids {
+				ids[i] = int64(i)
+			}
+			g := Setup(r, ids)
+			m, timings := TuneBy(g, 2, crit)
+			if g.Method() != m {
+				t.Errorf("%v: rank %d handle method %v != returned %v", crit, r.ID(), g.Method(), m)
+			}
+			if want := SelectBest(timings, crit); m != want {
+				t.Errorf("%v: rank %d committed %v, SelectBest says %v", crit, r.ID(), m, want)
+			}
+			// The exchange must still work under the committed method.
+			v := make([]float64, 16)
+			for i := range v {
+				v[i] = 1
+			}
+			g.Op(v, comm.OpSum)
+			if v[0] != p {
+				t.Errorf("%v: rank %d post-tune op got %v, want %d", crit, r.ID(), v[0], p)
+			}
+			choices[r.ID()] = m
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r < p; r++ {
+			if choices[r] != choices[0] {
+				t.Fatalf("%v: ranks disagree on tuned method: %v", crit, choices)
+			}
+		}
+	}
+}
+
+func TestCriterionStrings(t *testing.T) {
+	if ByWallTime.String() != "wall" || ByModeledTime.String() != "modeled" {
+		t.Fatal("criterion names changed")
+	}
+	if Criterion(42).String() != "Criterion(42)" {
+		t.Fatal("unknown criterion formatting changed")
+	}
+}

@@ -1,0 +1,165 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, nw := range []int{1, 2, 4, 7} {
+		p := New(nw)
+		for _, n := range []int{0, 1, 2, 3, 16, 257} {
+			hits := make([]atomic.Int32, max(n, 1))
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", nw, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForSlotsCoversRangeWithBoundedSlots(t *testing.T) {
+	for _, nw := range []int{1, 3, 5} {
+		p := New(nw)
+		for _, n := range []int{1, 2, 4, 100} {
+			hits := make([]atomic.Int32, n)
+			var badSlot atomic.Int32
+			p.ForSlots(n, func(slot, lo, hi int) {
+				if slot < 0 || slot >= nw || slot >= n {
+					badSlot.Add(1)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			if badSlot.Load() != 0 {
+				t.Fatalf("workers=%d n=%d: slot out of range", nw, n)
+			}
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", nw, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// Disjoint slot ranges: no index may appear in two slots, so per-slot
+// scratch buffers never race.
+func TestForSlotsDisjointRanges(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	owner := make([]atomic.Int32, 64)
+	for i := range owner {
+		owner[i].Store(-1)
+	}
+	p.ForSlots(len(owner), func(slot, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !owner[i].CompareAndSwap(-1, int32(slot)) {
+				t.Errorf("index %d claimed twice", i)
+			}
+		}
+	})
+}
+
+func TestNilAndSerialPoolsRunInline(t *testing.T) {
+	var p *Pool
+	ran := 0
+	p.For(10, func(lo, hi int) { ran += hi - lo })
+	if ran != 10 {
+		t.Fatalf("nil pool ran %d of 10 iterations", ran)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", p.Workers())
+	}
+	p.Close() // must not panic
+
+	s := New(0)
+	if s.Workers() != 1 {
+		t.Fatalf("New(0).Workers() = %d, want 1", s.Workers())
+	}
+	ran = 0
+	s.ForSlots(5, func(slot, lo, hi int) { ran += hi - lo })
+	if ran != 5 {
+		t.Fatalf("serial pool ran %d of 5 iterations", ran)
+	}
+	s.Close()
+	s.Close() // idempotent
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(1 << 30); got != 1 {
+		t.Fatalf("DefaultWorkers(huge) = %d, want 1", got)
+	}
+	if got := DefaultWorkers(0); got < 1 {
+		t.Fatalf("DefaultWorkers(0) = %d, want >= 1", got)
+	}
+}
+
+func TestObserveAndStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(3)
+	defer p.Close()
+	p.Observe(reg)
+	for i := 0; i < 8; i++ {
+		p.For(100, func(lo, hi int) {})
+	}
+	st := p.Stats()
+	if st.Jobs != 8 {
+		t.Fatalf("Jobs = %d, want 8", st.Jobs)
+	}
+	if st.Chunks < st.Jobs {
+		t.Fatalf("Chunks = %d < Jobs = %d", st.Chunks, st.Jobs)
+	}
+	if st.Steals > st.Chunks {
+		t.Fatalf("Steals = %d > Chunks = %d", st.Steals, st.Chunks)
+	}
+	if got := reg.Counters()["pool_jobs"]; got != st.Jobs {
+		t.Fatalf("registry pool_jobs = %d, want %d", got, st.Jobs)
+	}
+	p.Observe(nil) // no-op, keeps existing instruments
+	p.For(10, func(lo, hi int) {})
+	if got := reg.Counters()["pool_jobs"]; got != 9 {
+		t.Fatalf("registry pool_jobs after Observe(nil) = %d, want 9", got)
+	}
+}
+
+// The pool must produce bit-identical results regardless of worker
+// count when chunks write disjoint ranges — the property the solver's
+// determinism guarantee rests on.
+func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 1024
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i)*0.37 + 1
+	}
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = in[i] * in[i] * 1.0001
+	}
+	for _, nw := range []int{1, 2, 3, 8} {
+		p := New(nw)
+		out := make([]float64, n)
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = in[i] * in[i] * 1.0001
+			}
+		})
+		p.Close()
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", nw, i, out[i], ref[i])
+			}
+		}
+	}
+}

@@ -126,6 +126,19 @@ type Config struct {
 	// for behavioral emulation (default hw.Generic).
 	Machine hw.Machine
 
+	// Workers is the intra-rank worker-pool width for the
+	// element-indexed kernels (two-level concurrency: ranks x workers).
+	// Elements write disjoint output, so results are bit-identical at
+	// any worker count, and the modeled virtual time — charged
+	// analytically from structural op counts — is unchanged; workers
+	// move wall time only. 0 or 1 means serial. See pool.DefaultWorkers
+	// for the cmd-level default.
+	Workers int
+	// Metrics, when non-nil, receives the worker pool's occupancy and
+	// steal counters (pool_jobs, pool_chunks, pool_steals,
+	// pool_busy_workers). Shared by all ranks.
+	Metrics *obs.Registry
+
 	// Obs, when non-nil, receives per-rank telemetry spans for every
 	// timestep, RK stage, kernel, and exchange (export with
 	// Obs.WritePerfetto). Shared by all ranks; recording never touches
@@ -203,6 +216,9 @@ func (c *Config) normalize() {
 	}
 	if c.Pr == 0 {
 		c.Pr = 0.72
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 }
 

@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+)
+
+// runState runs a short multi-rank simulation with the given worker
+// count and returns every rank's final conserved state plus the run
+// report and modeled makespan.
+func runState(t *testing.T, workers int, mutate func(*Config)) ([][NumFields][]float64, []Report, float64) {
+	t.Helper()
+	const np = 4
+	cfg := DefaultConfig(np, 5, 2)
+	cfg.Workers = workers
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	states := make([][NumFields][]float64, np)
+	reports := make([]Report, np)
+	stats, err := comm.Run(np, cfg.CommOptions(netmodel.QDR), func(r *comm.Rank) error {
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		s.SetInitial(GaussianPulse(1, 1, 1, 0.1, 0.5))
+		reports[r.ID()] = s.Run(3)
+		for c := 0; c < NumFields; c++ {
+			states[r.ID()][c] = append([]float64(nil), s.U[c]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states, reports, stats.MaxVirtualTime()
+}
+
+// TestWorkersBitIdentical is the tentpole's correctness contract: the
+// intra-rank worker pool must not change a single bit of the solution,
+// the report, or the modeled makespan at any worker count. Elements
+// write disjoint output slices and modeled time is charged analytically
+// on the rank goroutine, so workers move wall time only.
+func TestWorkersBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"euler+dealias", func(c *Config) { c.Dealias = true }},
+		{"viscous", func(c *Config) { c.Mu = 0.02 }},
+		{"wall-bc", func(c *Config) {
+			c.Periodic = [3]bool{false, true, true}
+			c.BC = BCWall
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			refStates, refReports, refVT := runState(t, 1, tc.mutate)
+			for _, w := range []int{2, 4, 7} {
+				states, reports, vt := runState(t, w, tc.mutate)
+				if vt != refVT {
+					t.Fatalf("workers=%d modeled makespan %v != serial %v", w, vt, refVT)
+				}
+				for rank := range states {
+					if reports[rank] != refReports[rank] {
+						t.Fatalf("workers=%d rank %d report %+v != serial %+v",
+							w, rank, reports[rank], refReports[rank])
+					}
+					for c := 0; c < NumFields; c++ {
+						for i, v := range states[rank][c] {
+							if math.Float64bits(v) != math.Float64bits(refStates[rank][c][i]) {
+								t.Fatalf("workers=%d rank %d field %d point %d: %x != %x",
+									w, rank, c, i, math.Float64bits(v),
+									math.Float64bits(refStates[rank][c][i]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersSourceAndFilter covers the remaining pool-touched paths
+// (source-term accumulation; the spectral filter stays serial but must
+// coexist with the pool) under workers>1.
+func TestWorkersSourceAndFilter(t *testing.T) {
+	mutate := func(c *Config) {
+		c.FilterCutoff = 3
+	}
+	run := func(workers int) [][NumFields][]float64 {
+		const np = 2
+		cfg := DefaultConfig(np, 5, 2)
+		cfg.Workers = workers
+		mutate(&cfg)
+		states := make([][NumFields][]float64, np)
+		_, err := comm.Run(np, cfg.CommOptions(netmodel.QDR), func(r *comm.Rank) error {
+			s, err := New(r, cfg)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			s.SetInitial(GaussianPulse(1, 1, 1, 0.1, 0.5))
+			src := s.EnableSource()
+			for i := range src[IEnergy] {
+				src[IEnergy][i] = 1e-3
+			}
+			s.Run(2)
+			for c := 0; c < NumFields; c++ {
+				states[r.ID()][c] = append([]float64(nil), s.U[c]...)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return states
+	}
+	ref := run(1)
+	got := run(3)
+	for rank := range ref {
+		for c := 0; c < NumFields; c++ {
+			for i, v := range got[rank][c] {
+				if math.Float64bits(v) != math.Float64bits(ref[rank][c][i]) {
+					t.Fatalf("rank %d field %d point %d differs with workers", rank, c, i)
+				}
+			}
+		}
+	}
+}

@@ -67,13 +67,15 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	stop := s.span("compute_primitive", obs.CatKernel)
 	rho, mx, my, mz, en := in[IRho], in[IMomX], in[IMomY], in[IMomZ], in[IEnergy]
 	vx, vy, vz, pr := s.velP[0], s.velP[1], s.velP[2], s.prP
-	for i := 0; i < vol; i++ {
-		inv := 1 / rho[i]
-		vx[i] = mx[i] * inv
-		vy[i] = my[i] * inv
-		vz[i] = mz[i] * inv
-		pr[i] = (Gamma - 1) * (en[i] - 0.5*(mx[i]*vx[i]+my[i]*vy[i]+mz[i]*vz[i]))
-	}
+	s.pool.For(vol, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inv := 1 / rho[i]
+			vx[i] = mx[i] * inv
+			vy[i] = my[i] * inv
+			vz[i] = mz[i] * inv
+			pr[i] = (Gamma - 1) * (en[i] - 0.5*(mx[i]*vx[i]+my[i]*vy[i]+mz[i]*vz[i]))
+		}
+	})
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 8, Add: int64(vol) * 3,
 		Load: int64(vol) * NumFields, Store: int64(vol) * 4}, pointwiseTraits)
 	stop()
@@ -88,7 +90,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	stop = s.span("full2face_cmt", obs.CatKernel)
 	var moveOps sem.OpCount
 	for c := 0; c < NumFields; c++ {
-		moveOps = moveOps.Plus(sem.Full2Face(n, in[c], nel, s.faceU[c]))
+		moveOps = moveOps.Plus(sem.Full2FacePool(s.pool, n, in[c], nel, s.faceU[c]))
 	}
 	s.chargeCompute(moveOps, pointwiseTraits)
 	stop()
@@ -100,9 +102,12 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	// extracted here too (both sides then average them via gs, a
 	// BR1-style viscous interface flux).
 	for c := 0; c < NumFields; c++ {
-		for i := range s.div {
-			s.div[i] = 0
-		}
+		s.pool.For(vol, func(lo, hi int) {
+			dv := s.div[lo:hi]
+			for i := range dv {
+				dv[i] = 0
+			}
+		})
 		for d := 0; d < 3; d++ {
 			stop = s.span("compute_flux", obs.CatKernel)
 			vn := s.velP[d]
@@ -111,18 +116,24 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 				copy(s.fx, in[IMomX+d][:vol])
 			case c == IMomX+d:
 				uc := in[c]
-				for i := 0; i < vol; i++ {
-					s.fx[i] = uc[i]*vn[i] + pr[i]
-				}
+				s.pool.For(vol, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						s.fx[i] = uc[i]*vn[i] + pr[i]
+					}
+				})
 			case c == IEnergy:
-				for i := 0; i < vol; i++ {
-					s.fx[i] = vn[i] * (en[i] + pr[i])
-				}
+				s.pool.For(vol, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						s.fx[i] = vn[i] * (en[i] + pr[i])
+					}
+				})
 			default:
 				uc := in[c]
-				for i := 0; i < vol; i++ {
-					s.fx[i] = uc[i] * vn[i]
-				}
+				s.pool.For(vol, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						s.fx[i] = uc[i] * vn[i]
+					}
+				})
 			}
 			if viscous {
 				s.addViscousFlux(c, d)
@@ -133,24 +144,29 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 
 			if viscous {
 				stop = s.span("full2face_cmt", obs.CatKernel)
-				moveOps = sem.Full2FaceDir(n, s.fx, nel, s.faceF[c], d)
+				moveOps = sem.Full2FaceDirPool(s.pool, n, s.fx, nel, s.faceF[c], d)
 				s.chargeCompute(moveOps, pointwiseTraits)
 				stop()
 			}
 
 			dir := sem.Direction(d)
 			stop = s.span("ax_deriv_"+dir.String(), obs.CatKernel)
-			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.fx, s.dwork, nel)
+			ops := sem.DerivPool(s.pool, dir, s.Cfg.Variant, s.Ref, s.fx, s.dwork, nel)
 			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
 			stop()
 
-			for i := range s.div {
-				s.div[i] += s.rx * s.dwork[i]
+			s.pool.For(vol, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s.div[i] += s.rx * s.dwork[i]
+				}
+			})
+		}
+		rc := s.rhs[c]
+		s.pool.For(vol, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rc[i] = -s.div[i]
 			}
-		}
-		for i := range s.rhs[c] {
-			s.rhs[c][i] = -s.div[i]
-		}
+		})
 	}
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 3 * NumFields, Add: int64(vol) * 4 * NumFields,
 		Load: int64(vol) * 2, Store: int64(vol)}, pointwiseTraits)
@@ -160,27 +176,29 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 	// viscous path extracted it from the volume flux above).
 	if !viscous {
 		stop = s.span("compute_flux_surface", obs.CatKernel)
-		var us, fs [NumFields]float64
-		var velPt [3]float64
-		for e := 0; e < nel; e++ {
-			for f := 0; f < sem.NFaces; f++ {
-				d := sem.FaceDir(f)
-				base := e*sem.NFaces*n2 + f*n2
-				for q := 0; q < n2; q++ {
-					idx := base + q
-					for c := 0; c < NumFields; c++ {
-						us[c] = s.faceU[c][idx]
-					}
-					inv := 1 / us[IRho]
-					velPt[0], velPt[1], velPt[2] = us[IMomX]*inv, us[IMomY]*inv, us[IMomZ]*inv
-					p := pressure(&us)
-					eulerFlux(d, &us, &velPt, p, &fs)
-					for c := 0; c < NumFields; c++ {
-						s.faceF[c][idx] = fs[c]
+		s.pool.For(nel, func(elo, ehi int) {
+			var us, fs [NumFields]float64
+			var velPt [3]float64
+			for e := elo; e < ehi; e++ {
+				for f := 0; f < sem.NFaces; f++ {
+					d := sem.FaceDir(f)
+					base := e*sem.NFaces*n2 + f*n2
+					for q := 0; q < n2; q++ {
+						idx := base + q
+						for c := 0; c < NumFields; c++ {
+							us[c] = s.faceU[c][idx]
+						}
+						inv := 1 / us[IRho]
+						velPt[0], velPt[1], velPt[2] = us[IMomX]*inv, us[IMomY]*inv, us[IMomZ]*inv
+						p := pressure(&us)
+						eulerFlux(d, &us, &velPt, p, &fs)
+						for c := 0; c < NumFields; c++ {
+							s.faceF[c][idx] = fs[c]
+						}
 					}
 				}
 			}
-		}
+		})
 		s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * 6, Add: int64(faceLen) * 4,
 			Load: int64(faceLen) * 2, Store: int64(faceLen)}, pointwiseTraits)
 		stop()
@@ -218,30 +236,32 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 		fc, uc := s.faceF[c], s.faceU[c]
 		fsum, usum := s.exF[c], s.exU[c]
 		dst := s.faceW
-		for e := 0; e < nel; e++ {
-			for f := 0; f < sem.NFaces; f++ {
-				d := sem.FaceDir(f)
-				sign := float64(sem.FaceSign(f))
-				scale := s.liftScale[d]
-				base := e*sem.NFaces*n2 + f*n2
-				for q := 0; q < n2; q++ {
-					idx := base + q
-					if s.bmask[idx] == 0 {
-						if wall {
-							dst[idx] = scale * s.wallCorrection(c, d, sign, idx, lam)
-						} else {
-							dst[idx] = 0
+		s.pool.For(nel, func(elo, ehi int) {
+			for e := elo; e < ehi; e++ {
+				for f := 0; f < sem.NFaces; f++ {
+					d := sem.FaceDir(f)
+					sign := float64(sem.FaceSign(f))
+					scale := s.liftScale[d]
+					base := e*sem.NFaces*n2 + f*n2
+					for q := 0; q < n2; q++ {
+						idx := base + q
+						if s.bmask[idx] == 0 {
+							if wall {
+								dst[idx] = scale * s.wallCorrection(c, d, sign, idx, lam)
+							} else {
+								dst[idx] = 0
+							}
+							continue
 						}
-						continue
+						// (f - f*).n with the Lax-Friedrichs flux, written
+						// in terms of the exchanged in+out sums.
+						corr := sign*(fc[idx]-0.5*fsum[idx]) - lam*(uc[idx]-0.5*usum[idx])
+						dst[idx] = scale * corr
 					}
-					// (f - f*).n with the Lax-Friedrichs flux, written
-					// in terms of the exchanged in+out sums.
-					corr := sign*(fc[idx]-0.5*fsum[idx]) - lam*(uc[idx]-0.5*usum[idx])
-					dst[idx] = scale * corr
 				}
 			}
-		}
-		sem.Face2FullAdd(n, dst, nel, s.rhs[c])
+		})
+		sem.Face2FullAddPool(s.pool, n, dst, nel, s.rhs[c])
 	}
 	s.chargeCompute(sem.OpCount{Mul: int64(faceLen) * NumFields * 4, Add: int64(faceLen) * NumFields * 4,
 		Load: int64(faceLen) * NumFields * 4, Store: int64(faceLen) * NumFields}, pointwiseTraits)
@@ -255,9 +275,11 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 		for c := 0; c < NumFields; c++ {
 			src := s.Source[c]
 			dst := s.rhs[c]
-			for i := range dst {
-				dst[i] += src[i]
-			}
+			s.pool.For(vol, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst[i] += src[i]
+				}
+			})
 		}
 		s.chargeCompute(sem.OpCount{Add: int64(vol) * NumFields,
 			Load: 2 * int64(vol) * NumFields, Store: int64(vol) * NumFields}, pointwiseTraits)
@@ -270,7 +292,7 @@ func (s *Solver) computeRHS(in *[NumFields][]float64) {
 		stop = s.span("dealias", obs.CatKernel)
 		var ops sem.OpCount
 		for c := 0; c < NumFields; c++ {
-			ops = ops.Plus(s.Ref.DealiasRoundTrip(s.rhs[c], nel, s.fineBf, s.deaScr))
+			ops = ops.Plus(s.Ref.DealiasRoundTripPool(s.pool, s.rhs[c], nel, s.deaBufs))
 		}
 		s.chargeCompute(ops, pointwiseTraits)
 		stop()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mesh"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/prof"
 	"repro/internal/sem"
 )
@@ -46,16 +47,22 @@ type Solver struct {
 	velP   [3][]float64         // pointwise velocity (primitive pass)
 	prP    []float64            // pointwise pressure (primitive pass)
 	// viscous-path storage (allocated when Mu > 0)
-	gradQ  [numGradQ][]float64    // quantities to differentiate (vx,vy,vz,T)
-	gradD  [numGradQ][3][]float64 // their physical-space gradients
-	faceU  [NumFields][]float64   // face traces of U
-	faceF  [NumFields][]float64   // face traces of the normal flux
-	exU    [NumFields][]float64   // exchanged (in+out summed) state traces
-	exF    [NumFields][]float64   // exchanged flux traces
-	faceW  []float64              // per-field correction workspace
-	bmask  []float64              // 1 on exchanged face points, 0 on true boundaries
-	fineBf []float64              // dealiasing fine-mesh buffer
-	deaScr []float64              // dealiasing scratch
+	gradQ [numGradQ][]float64    // quantities to differentiate (vx,vy,vz,T)
+	gradD [numGradQ][3][]float64 // their physical-space gradients
+	faceU [NumFields][]float64   // face traces of U
+	faceF [NumFields][]float64   // face traces of the normal flux
+	exU   [NumFields][]float64   // exchanged (in+out summed) state traces
+	exF   [NumFields][]float64   // exchanged flux traces
+	faceW []float64              // per-field correction workspace
+	bmask []float64              // 1 on exchanged face points, 0 on true boundaries
+
+	// Intra-rank worker pool for the element-indexed kernels (Workers
+	// in Config). The pool parallelizes wall time only: modeled time is
+	// charged analytically on the rank goroutine, so results and
+	// virtual-time traces are identical at any worker count.
+	pool    *pool.Pool
+	deaBufs *sem.DealiasBufs // per-worker dealiasing buffers
+	wsPart  []float64        // per-slot wave-speed partial maxima
 
 	// Geometry: uniform unit-cube elements, so d(ref)/d(phys) = 2.
 	rx float64
@@ -125,9 +132,11 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		s.exF[c] = make([]float64, faceLen)
 	}
 	s.faceW = make([]float64, faceLen)
+	s.pool = pool.New(cfg.Workers)
+	s.pool.Observe(cfg.Metrics)
+	s.wsPart = make([]float64, s.pool.Workers())
 	if cfg.Dealias {
-		s.fineBf = make([]float64, ref.NF*ref.NF*ref.NF)
-		s.deaScr = make([]float64, ref.DealiasScratchLen())
+		s.deaBufs = ref.NewDealiasBufs(s.pool.Workers())
 	}
 	if cfg.FilterCutoff > 0 {
 		s.filterMat = sem.FilterMatrix(ref.X, cfg.FilterCutoff, 1.0)
@@ -196,6 +205,14 @@ func (s *Solver) span(name string, cat obs.Category) func() {
 
 // GS exposes the face gather-scatter handle (for reporting).
 func (s *Solver) GS() *gs.GS { return s.gsh }
+
+// Pool exposes the intra-rank worker pool (for occupancy reporting).
+func (s *Solver) Pool() *pool.Pool { return s.pool }
+
+// Close stops the worker pool's helper goroutines. The solver remains
+// usable afterwards (kernels fall back to running on the caller), but
+// steady-state use should treat Close as the end of the solver's life.
+func (s *Solver) Close() { s.pool.Close() }
 
 // EnableSource allocates the source-term fields (zeroed) and returns
 // them; callers deposit coupling terms (e.g. particle drag reactions)

@@ -14,17 +14,33 @@ import (
 func (s *Solver) MaxWaveSpeed() float64 {
 	stop := s.Prof.Start("wave_speed")
 	stopSpan := s.rt.Span("wave_speed", obs.CatKernel)
-	local := 0.0
-	var u [NumFields]float64
-	for i := range s.U[IRho] {
-		for c := 0; c < NumFields; c++ {
-			u[c] = s.U[c][i]
+	// Per-slot partial maxima: max is order-insensitive, so chunked
+	// partials merged on the rank goroutine are bit-identical to the
+	// serial sweep at any worker count.
+	part := s.wsPart
+	for i := range part {
+		part[i] = 0
+	}
+	s.pool.ForSlots(len(s.U[IRho]), func(slot, lo, hi int) {
+		pm := 0.0
+		var u [NumFields]float64
+		for i := lo; i < hi; i++ {
+			for c := 0; c < NumFields; c++ {
+				u[c] = s.U[c][i]
+			}
+			inv := 1 / u[IRho]
+			speed2 := (u[IMomX]*u[IMomX] + u[IMomY]*u[IMomY] + u[IMomZ]*u[IMomZ]) * inv * inv
+			p := pressure(&u)
+			cs := math.Sqrt(Gamma * p * inv)
+			if v := math.Sqrt(speed2) + cs; v > pm {
+				pm = v
+			}
 		}
-		inv := 1 / u[IRho]
-		speed2 := (u[IMomX]*u[IMomX] + u[IMomY]*u[IMomY] + u[IMomZ]*u[IMomZ]) * inv * inv
-		p := pressure(&u)
-		cs := math.Sqrt(Gamma * p * inv)
-		if v := math.Sqrt(speed2) + cs; v > local {
+		part[slot] = pm
+	})
+	local := 0.0
+	for _, v := range part {
+		if v > local {
 			local = v
 		}
 	}
@@ -66,9 +82,11 @@ func (s *Solver) Step(dt float64) {
 	stopUpd := s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, rc, o := s.U[c], s.rhs[c], s.u1[c]
-		for i := 0; i < vol; i++ {
-			o[i] = uc[i] + dt*rc[i]
-		}
+		s.pool.For(vol, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				o[i] = uc[i] + dt*rc[i]
+			}
+		})
 	}
 	stopUpd()
 	// Stage 2: u2 = 3/4 U + 1/4 (u1 + dt RHS(u1)).
@@ -76,9 +94,11 @@ func (s *Solver) Step(dt float64) {
 	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u1c, rc, o := s.U[c], s.u1[c], s.rhs[c], s.u2[c]
-		for i := 0; i < vol; i++ {
-			o[i] = 0.75*uc[i] + 0.25*(u1c[i]+dt*rc[i])
-		}
+		s.pool.For(vol, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				o[i] = 0.75*uc[i] + 0.25*(u1c[i]+dt*rc[i])
+			}
+		})
 	}
 	stopUpd()
 	// Stage 3: U = 1/3 U + 2/3 (u2 + dt RHS(u2)).
@@ -86,9 +106,11 @@ func (s *Solver) Step(dt float64) {
 	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u2c, rc := s.U[c], s.u2[c], s.rhs[c]
-		for i := 0; i < vol; i++ {
-			uc[i] = uc[i]/3 + 2.0/3.0*(u2c[i]+dt*rc[i])
-		}
+		s.pool.For(vol, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				uc[i] = uc[i]/3 + 2.0/3.0*(u2c[i]+dt*rc[i])
+			}
+		})
 	}
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * NumFields * 6, Add: int64(vol) * NumFields * 4,
 		Load: int64(vol) * NumFields * 8, Store: int64(vol) * NumFields * 3}, pointwiseTraits)

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/comm"
@@ -13,9 +14,22 @@ import (
 // the straggler itself shows the lowest MPI share, its peers the
 // highest. This is the behavioral-emulation read-out of MPI_Wait skew.
 func TestStragglerShowsLoadImbalanceSignature(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			testStragglerSignature(t, workers)
+		})
+	}
+}
+
+// testStragglerSignature runs the straggler scenario with the given
+// intra-rank worker count: the modeled-time imbalance signature is a
+// virtual-clock property and must be identical whether the kernels run
+// serially or on a pool.
+func testStragglerSignature(t *testing.T, workers int) {
 	const np = 8
 	run := func(factors []float64) []comm.RankMPI {
 		cfg := DefaultConfig(np, 6, 2)
+		cfg.Workers = workers
 		opts := cfg.CommOptions(netmodel.QDR)
 		opts.ComputeFactors = factors
 		stats, err := comm.Run(np, opts, func(r *comm.Rank) error {
@@ -23,6 +37,7 @@ func TestStragglerShowsLoadImbalanceSignature(t *testing.T) {
 			if err != nil {
 				return err
 			}
+			defer s.Close()
 			s.SetInitial(GaussianPulse(2, 2, 2, 0.1, 0.5))
 			s.Run(3)
 			return nil

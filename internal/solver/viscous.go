@@ -41,9 +41,11 @@ func (s *Solver) computeGradients(in *[NumFields][]float64) {
 	stop := s.span("compute_primitive", obs.CatKernel)
 	tq := s.gradQ[gradT]
 	rho := in[IRho]
-	for i := 0; i < vol; i++ {
-		tq[i] = s.prP[i] / rho[i]
-	}
+	s.pool.For(vol, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tq[i] = s.prP[i] / rho[i]
+		}
+	})
 	copy(s.gradQ[gradVx], s.velP[0])
 	copy(s.gradQ[gradVy], s.velP[1])
 	copy(s.gradQ[gradVz], s.velP[2])
@@ -54,14 +56,16 @@ func (s *Solver) computeGradients(in *[NumFields][]float64) {
 		for d := 0; d < 3; d++ {
 			dir := sem.Direction(d)
 			stop := s.span("ax_deriv_"+dir.String(), obs.CatKernel)
-			ops := sem.Deriv(dir, s.Cfg.Variant, s.Ref, s.gradQ[q], s.gradD[q][d], nel)
+			ops := sem.DerivPool(s.pool, dir, s.Cfg.Variant, s.Ref, s.gradQ[q], s.gradD[q][d], nel)
 			s.chargeCompute(ops, derivTraits(dir, s.Cfg.Variant))
 			stop()
 			// Constant metric: d/dx = rx * d/dr.
 			gd := s.gradD[q][d]
-			for i := range gd {
-				gd[i] *= s.rx
-			}
+			s.pool.For(vol, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gd[i] *= s.rx
+				}
+			})
 		}
 	}
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * numGradQ * 3,
@@ -91,32 +95,38 @@ func (s *Solver) addViscousFlux(c, d int) {
 		gi := s.gradD[gradVx+i][d]
 		gd := s.gradD[gradVx+d][i]
 		if i == d {
-			for p := 0; p < vol; p++ {
-				divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
-				tau := mu*(gi[p]+gd[p]) - (2.0/3.0)*mu*divv
-				s.fx[p] -= tau
-			}
+			s.pool.For(vol, func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
+					tau := mu*(gi[p]+gd[p]) - (2.0/3.0)*mu*divv
+					s.fx[p] -= tau
+				}
+			})
 		} else {
-			for p := 0; p < vol; p++ {
-				s.fx[p] -= mu * (gi[p] + gd[p])
-			}
+			s.pool.For(vol, func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					s.fx[p] -= mu * (gi[p] + gd[p])
+				}
+			})
 		}
 	case c == IEnergy:
 		// Work of the stress plus heat conduction:
 		// F_visc,E[d] = sum_i v_i tau_{i,d} + kappa dT/dx_d.
 		gT := s.gradD[gradT][d]
-		for p := 0; p < vol; p++ {
-			divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
-			var work float64
-			for i := 0; i < 3; i++ {
-				tau := mu * (s.gradD[gradVx+i][d][p] + s.gradD[gradVx+d][i][p])
-				if i == d {
-					tau -= (2.0 / 3.0) * mu * divv
+		s.pool.For(vol, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
+				var work float64
+				for i := 0; i < 3; i++ {
+					tau := mu * (s.gradD[gradVx+i][d][p] + s.gradD[gradVx+d][i][p])
+					if i == d {
+						tau -= (2.0 / 3.0) * mu * divv
+					}
+					work += s.velP[i][p] * tau
 				}
-				work += s.velP[i][p] * tau
+				s.fx[p] -= work + kappa*gT[p]
 			}
-			s.fx[p] -= work + kappa*gT[p]
-		}
+		})
 	}
 	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 6, Add: int64(vol) * 6,
 		Load: int64(vol) * 8, Store: int64(vol)}, pointwiseTraits)
