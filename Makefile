@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sweep bench-workers
+.PHONY: all build vet test race check bench bench-sweep bench-workers bench-loadbal
 
 all: check
 
@@ -20,6 +20,7 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/pool/... ./internal/gs/... ./internal/sem/...
 	$(GO) test -race -run 'TestWorkers|TestStraggler' ./internal/solver/...
+	$(GO) test -race ./internal/loadbal/...
 
 # Quick worker-sweep smoke: the derivative kernel across pool widths
 # (1..NumCPU) plus the gs zero-alloc benches. Fast enough for check/CI;
@@ -35,3 +36,9 @@ bench:
 # Regenerate the worker-sweep baseline (BENCH_workers_baseline.json).
 bench-workers:
 	$(GO) run ./cmd/kernelbench -n 9 -nel 64 -steps 200 -workersweep -json BENCH_workers_baseline.json
+
+# Regenerate the dynamic load-balancing baseline
+# (BENCH_loadbal_baseline.json): balanced vs skewed vs skewed+loadbal
+# makespans on the one-hot-rank scenario.
+bench-loadbal:
+	$(GO) run ./cmd/scalebench -n 5 -maxranks 8 -loadbal -loadbal-json BENCH_loadbal_baseline.json

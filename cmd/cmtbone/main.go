@@ -20,6 +20,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/diag"
 	"repro/internal/gs"
+	"repro/internal/loadbal"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -53,6 +54,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a step-metrics JSONL stream (one record per timestep) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve live pprof and expvar on this address (e.g. :6060)")
 	workers := flag.Int("workers", 0, "intra-rank worker-pool width for the spectral-element kernels (0 = GOMAXPROCS/ranks, min 1)")
+	useLB := flag.Bool("loadbal", false, "enable dynamic load balancing (measured-cost SFC repartitioning with element migration)")
+	lbThreshold := flag.Float64("imbalance-threshold", 1.2, "rank cost imbalance (max/mean) above which a rebalance is considered")
+	lbEvery := flag.Int("rebalance-every", 10, "steps between load-balance measure/decide epochs")
+	hotSpec := flag.String("hot", "", "comma-separated rank=factor pairs skewing per-element modeled cost (e.g. 3=4 makes rank 3's elements 4x)")
 	cli.Parse()
 
 	cfg := solver.DefaultConfig(*np, *n, *local)
@@ -89,6 +94,26 @@ func main() {
 		*workers = pool.DefaultWorkers(*np)
 	}
 	cfg.Workers = *workers
+	if *hotSpec != "" {
+		box, err := cfg.Mesh()
+		if err != nil {
+			log.Fatalf("-hot: %v", err)
+		}
+		cfg.HotElems = make(map[int64]float64)
+		for _, pair := range strings.Split(*hotSpec, ",") {
+			var rank int
+			var factor float64
+			if _, err := fmt.Sscanf(pair, "%d=%g", &rank, &factor); err != nil {
+				log.Fatalf("-hot: bad pair %q (want rank=factor): %v", pair, err)
+			}
+			if rank < 0 || rank >= *np {
+				log.Fatalf("-hot: rank %d out of range [0,%d)", rank, *np)
+			}
+			for _, gid := range box.Partition(rank).GIDs() {
+				cfg.HotElems[gid] = factor
+			}
+		}
+	}
 
 	model, err := netmodel.ByName(*netName)
 	if err != nil {
@@ -105,7 +130,7 @@ func main() {
 		metricsFile *os.File
 		traceFile   *os.File
 	)
-	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" {
+	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" || *useLB {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -149,10 +174,14 @@ func main() {
 	if cfg.Workers > 1 {
 		fmt.Printf("worker pool: %d workers per rank (wall time only; modeled time unchanged)\n", cfg.Workers)
 	}
+	if *useLB {
+		fmt.Printf("load balancing: every %d steps, imbalance threshold %.2f\n", *lbEvery, *lbThreshold)
+	}
 
 	reports := make([]solver.Report, *np)
 	profs := make([]*prof.Profiler, *np)
 	methods := make([]gs.Method, *np)
+	balancers := make([]*loadbal.Balancer, *np)
 	var flowDiag diag.Summary
 	var spectrum diag.Spectrum
 	stats, err := comm.Run(*np, opts, func(r *comm.Rank) error {
@@ -164,7 +193,16 @@ func main() {
 		s.SetInitial(solver.GaussianPulse(
 			float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
 			0.1, float64(cfg.ElemGrid[0])/8+0.25))
-		reports[r.ID()] = s.Run(*steps)
+		var after func(int)
+		if *useLB {
+			b := loadbal.New(s, nil, reg, loadbal.Config{
+				Threshold: *lbThreshold,
+				Every:     *lbEvery,
+			})
+			balancers[r.ID()] = b
+			after = b.AfterStep
+		}
+		reports[r.ID()] = s.RunWith(*steps, after)
 		profs[r.ID()] = s.Prof
 		methods[r.ID()] = s.GS().Method()
 		if *showDiag {
@@ -191,6 +229,17 @@ func main() {
 	fmt.Printf("gather-scatter method in use: %s\n", methods[0])
 	fmt.Printf("wall time: %.3fs   modeled makespan: %.6fs   flops/rank: %.3g\n",
 		stats.Wall, stats.MaxVirtualTime(), float64(rep.Ops.Flops()))
+	if *useLB {
+		b := balancers[0]
+		moved, bytes := 0, int64(0)
+		for _, rb := range balancers {
+			moved += rb.MovedElems
+			bytes += rb.MovedBytes
+		}
+		fmt.Printf("load balancing: %d epochs, %d rebalances, %d skips; %d elements migrated (%.1f KiB); imbalance %.2f -> %.2f\n",
+			b.Epochs, b.Rebalances, b.Skips, moved, float64(bytes)/1024,
+			reg.Gauge("loadbal_imbalance_before").Value(), reg.Gauge("loadbal_imbalance_after").Value())
+	}
 	if *ckptDir != "" {
 		fmt.Printf("checkpoint written to %s\n", checkpoint.FilePath(*ckptDir, "final", 0))
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/comm"
+	"repro/internal/loadbal"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -44,6 +46,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the largest weak-scaling run's step-metrics JSONL to this file")
 	debugAddr := flag.String("debug-addr", "", "serve live pprof and expvar on this address for the whole sweep")
 	workersFlag := flag.Int("workers", 0, "intra-rank worker-pool width (0 = GOMAXPROCS/ranks per run, min 1)")
+	useLB := flag.Bool("loadbal", false, "append the skewed-load scenario study (balanced / skewed / skewed+loadbal)")
+	lbThreshold := flag.Float64("imbalance-threshold", 1.2, "rank cost imbalance triggering a rebalance in the loadbal scenario")
+	lbEvery := flag.Int("rebalance-every", 2, "steps between load-balance epochs in the loadbal scenario")
+	lbJSON := flag.String("loadbal-json", "", "write the loadbal scenario results as JSON to this file")
 	cli.Parse()
 	workers = *workersFlag
 
@@ -122,6 +128,132 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	if *useLB {
+		loadbalStudy(*n, model, loadbal.Config{Threshold: *lbThreshold, Every: *lbEvery}, *lbJSON)
+	}
+}
+
+// lbScenario is one row of the skewed-load study and one entry of its
+// JSON artifact.
+type lbScenario struct {
+	Scenario        string  `json:"scenario"`
+	Ranks           int     `json:"ranks"`
+	Makespan        float64 `json:"makespan_s"`
+	MPIFrac         float64 `json:"mpi_frac"`
+	ImbalanceBefore float64 `json:"imbalance_before,omitempty"`
+	ImbalanceAfter  float64 `json:"imbalance_after,omitempty"`
+	Rebalances      int     `json:"rebalances,omitempty"`
+	MigratedElems   int     `json:"migrated_elems,omitempty"`
+	// ReductionVsSkewed is this scenario's makespan reduction against
+	// the static skewed run (the acceptance metric of the loadbal
+	// subsystem: >= 0.25 for skewed+loadbal).
+	ReductionVsSkewed float64 `json:"reduction_vs_skewed"`
+}
+
+// loadbalStudy measures the dynamic load balancer against a one-hot-rank
+// cost skew: a balanced run (the floor), the same skew with the static
+// partition (the ceiling), and the skew with the balancer on. The third
+// row's makespan reduction against the second is the subsystem's win.
+func loadbalStudy(nGLL int, model netmodel.Model, lbCfg loadbal.Config, jsonPath string) {
+	const np, localElems, hotRank, hotFactor, steps = 8, 2, 3, 4.0, 12
+
+	base := solver.DefaultConfig(np, nGLL, localElems)
+	box, err := base.Mesh()
+	if err != nil {
+		log.Fatalf("loadbal study: %v", err)
+	}
+	hot := make(map[int64]float64)
+	for _, gid := range box.Partition(hotRank).GIDs() {
+		hot[gid] = hotFactor
+	}
+
+	run := func(hotElems map[int64]float64, balance bool) lbScenario {
+		cfg := base
+		cfg.HotElems = hotElems
+		cfg.Workers = workers
+		if cfg.Workers == 0 {
+			cfg.Workers = pool.DefaultWorkers(np)
+		}
+		reg := obs.NewRegistry()
+		balancers := make([]*loadbal.Balancer, np)
+		stats, err := comm.Run(np, cfg.CommOptions(model), func(r *comm.Rank) error {
+			s, err := solver.New(r, cfg)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			s.SetInitial(solver.GaussianPulse(
+				float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+				0.1, 0.5))
+			var after func(int)
+			if balance {
+				b := loadbal.New(s, nil, reg, lbCfg)
+				balancers[r.ID()] = b
+				after = b.AfterStep
+			}
+			s.RunWith(steps, after)
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("loadbal study: %v", err)
+		}
+		mpi := 0.0
+		for _, f := range stats.RankMPIFractions() {
+			mpi += f.FracModeled()
+		}
+		out := lbScenario{Ranks: np, Makespan: stats.MaxVirtualTime(), MPIFrac: mpi / np}
+		if balance {
+			out.ImbalanceBefore = reg.Gauge("loadbal_imbalance_before").Value()
+			out.ImbalanceAfter = reg.Gauge("loadbal_imbalance_after").Value()
+			out.Rebalances = balancers[0].Rebalances
+			out.MigratedElems = int(reg.Counter("loadbal_migrated_elems").Value())
+		}
+		return out
+	}
+
+	scenarios := []lbScenario{}
+	balanced := run(nil, false)
+	balanced.Scenario = "balanced"
+	skewed := run(hot, false)
+	skewed.Scenario = "skewed"
+	rebal := run(hot, true)
+	rebal.Scenario = "skewed+loadbal"
+	for _, s := range []*lbScenario{&balanced, &skewed, &rebal} {
+		s.ReductionVsSkewed = 1 - s.Makespan/skewed.Makespan
+		scenarios = append(scenarios, *s)
+	}
+
+	fmt.Printf("\nskewed-load scenario (rank %d elements %gx, N=%d, %d steps, rebalance every %d, threshold %.2f):\n\n",
+		hotRank, hotFactor, nGLL, steps, lbCfg.Every, lbCfg.Threshold)
+	fmt.Printf("%-15s %7s %15s %9s %12s %11s %11s\n",
+		"scenario", "ranks", "makespan (s)", "MPI %", "rebalances", "elems moved", "vs skewed")
+	for _, s := range scenarios {
+		fmt.Printf("%-15s %7d %15.6f %8.2f%% %12d %11d %10.1f%%\n",
+			s.Scenario, s.Ranks, s.Makespan, 100*s.MPIFrac, s.Rebalances, s.MigratedElems,
+			100*s.ReductionVsSkewed)
+	}
+
+	if jsonPath != "" {
+		doc := struct {
+			N         int          `json:"n"`
+			Steps     int          `json:"steps"`
+			Net       string       `json:"net"`
+			HotRank   int          `json:"hot_rank"`
+			HotFactor float64      `json:"hot_factor"`
+			Threshold float64      `json:"imbalance_threshold"`
+			Every     int          `json:"rebalance_every"`
+			Scenarios []lbScenario `json:"scenarios"`
+		}{nGLL, steps, model.Name, hotRank, hotFactor, lbCfg.Threshold, lbCfg.Every, scenarios}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("-loadbal-json: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("-loadbal-json: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
 }
 

@@ -6,7 +6,11 @@
 //
 // The format is a fixed little-endian binary layout (stdlib
 // encoding/binary): a magic/version header, the mesh shape, the step
-// counter and simulation time, then the five field arrays.
+// counter and simulation time, the rank's global element id list (format
+// version 2 — records arbitrary element->rank ownership so a run can
+// checkpoint after a dynamic rebalance and restore the exact partition),
+// then the five field arrays. Version-1 files (no gid list, implied
+// uniform box split) still read.
 package checkpoint
 
 import (
@@ -17,13 +21,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/mesh"
 	"repro/internal/solver"
 )
 
 // Magic identifies checkpoint files ("CMTB" + format version).
 const (
 	Magic   uint32 = 0x434d5442
-	Version uint32 = 1
+	Version uint32 = 2
 )
 
 // Meta is the validated header of a checkpoint.
@@ -40,6 +45,9 @@ type Meta struct {
 // Snapshot is one rank's checkpoint contents.
 type Snapshot struct {
 	Meta Meta
+	// GIDs lists the rank's global element ids in local (ascending)
+	// order. Nil for version-1 files, which imply the uniform box split.
+	GIDs []int64
 	U    [solver.NumFields][]float64
 }
 
@@ -66,6 +74,9 @@ func Write(w io.Writer, s *solver.Solver, step int64, time float64) error {
 			return fmt.Errorf("checkpoint: write header: %w", err)
 		}
 	}
+	if err := binary.Write(w, binary.LittleEndian, s.Local.GIDs()); err != nil {
+		return fmt.Errorf("checkpoint: write gids: %w", err)
+	}
 	n3 := s.Cfg.N * s.Cfg.N * s.Cfg.N
 	want := s.Local.Nel * n3
 	for c := 0; c < solver.NumFields; c++ {
@@ -91,7 +102,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("checkpoint: read version: %w", err)
 	}
-	if version != Version {
+	if version != 1 && version != Version {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
 	}
 	var snap Snapshot
@@ -101,6 +112,19 @@ func Read(r io.Reader) (*Snapshot, error) {
 	m := snap.Meta
 	if m.N < 2 || m.Nel < 1 {
 		return nil, fmt.Errorf("checkpoint: implausible header: N=%d Nel=%d", m.N, m.Nel)
+	}
+	if version >= 2 {
+		gids := make([]int64, m.Nel)
+		if err := binary.Read(r, binary.LittleEndian, gids); err != nil {
+			return nil, fmt.Errorf("checkpoint: read gids: %w", err)
+		}
+		total := int64(m.ElemGrid[0]) * int64(m.ElemGrid[1]) * int64(m.ElemGrid[2])
+		for i, g := range gids {
+			if g < 0 || g >= total || (i > 0 && g <= gids[i-1]) {
+				return nil, fmt.Errorf("checkpoint: gid list not ascending in [0,%d)", total)
+			}
+		}
+		snap.GIDs = gids
 	}
 	vol := int(m.Nel) * int(m.N) * int(m.N) * int(m.N)
 	for c := 0; c < solver.NumFields; c++ {
@@ -166,6 +190,16 @@ func Restore(s *solver.Solver, snap *Snapshot) (step int64, time float64, err er
 	if int(m.Nel) != s.Local.Nel {
 		return 0, 0, fmt.Errorf("checkpoint: element count mismatch: %d vs %d", m.Nel, s.Local.Nel)
 	}
+	if snap.GIDs != nil {
+		for e, g := range s.Local.GIDs() {
+			if snap.GIDs[e] != g {
+				return 0, 0, fmt.Errorf("checkpoint: element %d is gid %d in snapshot, %d in solver (restore with the snapshot's ownership)",
+					e, snap.GIDs[e], g)
+			}
+		}
+	} else if !s.Ownership().IsUniform() {
+		return 0, 0, fmt.Errorf("checkpoint: version-1 snapshot implies the uniform split, solver has a rebalanced partition")
+	}
 	for c := 0; c < solver.NumFields; c++ {
 		copy(s.U[c], snap.U[c])
 	}
@@ -204,4 +238,79 @@ func ReadFile(dir, tag string, rank int) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// ReadOwnership reconstructs the element->rank map recorded by a full
+// set of per-rank checkpoint files under dir (headers and gid lists
+// only; field data is not read). Pass the resulting Ownership through
+// Config.Ownership so the restored run resumes on the exact partition it
+// checkpointed with — including one produced by a mid-run rebalance.
+// Version-1 checkpoint sets return the uniform split.
+func ReadOwnership(dir, tag string, box *mesh.Box) (*mesh.Ownership, error) {
+	p := box.Ranks()
+	owner := make([]int, box.TotalElems())
+	for i := range owner {
+		owner[i] = -1
+	}
+	sawGIDs := false
+	for rank := 0; rank < p; rank++ {
+		gids, uniform, err := readGIDHeader(dir, tag, rank)
+		if err != nil {
+			return nil, err
+		}
+		if uniform {
+			gids = box.Partition(rank).GIDs()
+		} else {
+			sawGIDs = true
+		}
+		for _, g := range gids {
+			if g < 0 || g >= int64(len(owner)) || owner[g] != -1 {
+				return nil, fmt.Errorf("checkpoint: rank %d claims gid %d already owned or out of range", rank, g)
+			}
+			owner[g] = rank
+		}
+	}
+	for g, r := range owner {
+		if r == -1 {
+			return nil, fmt.Errorf("checkpoint: no rank owns element %d", g)
+		}
+	}
+	if !sawGIDs {
+		return box.UniformOwnership(), nil
+	}
+	return mesh.NewOwnership(box, owner)
+}
+
+// readGIDHeader reads one file's header and gid list, stopping before
+// the field data. uniform is true for version-1 files.
+func readGIDHeader(dir, tag string, rank int) (gids []int64, uniform bool, err error) {
+	f, err := os.Open(FilePath(dir, tag, rank))
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var magic, version uint32
+	var meta Meta
+	for _, v := range []interface{}{&magic, &version, &meta} {
+		if err := binary.Read(f, binary.LittleEndian, v); err != nil {
+			return nil, false, fmt.Errorf("checkpoint: read header of rank %d: %w", rank, err)
+		}
+	}
+	if magic != Magic {
+		return nil, false, fmt.Errorf("checkpoint: bad magic %#x in rank %d file", magic, rank)
+	}
+	if version == 1 {
+		return nil, true, nil
+	}
+	if version != Version {
+		return nil, false, fmt.Errorf("checkpoint: unsupported version %d in rank %d file", version, rank)
+	}
+	if int(meta.Rank) != rank {
+		return nil, false, fmt.Errorf("checkpoint: rank %d file recorded for rank %d", rank, meta.Rank)
+	}
+	gids = make([]int64, meta.Nel)
+	if err := binary.Read(f, binary.LittleEndian, gids); err != nil {
+		return nil, false, fmt.Errorf("checkpoint: read gids of rank %d: %w", rank, err)
+	}
+	return gids, false, nil
 }

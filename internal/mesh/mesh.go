@@ -82,14 +82,27 @@ func (b *Box) GlobalElemID(g [3]int) int64 {
 	return int64(g[0]) + int64(b.ElemGrid[0])*(int64(g[1])+int64(b.ElemGrid[1])*int64(g[2]))
 }
 
-// Local is one rank's view of the partition.
+// Local is one rank's view of the partition: either the uniform box
+// split (Box.Partition, Own == nil, a contiguous sub-box) or an
+// arbitrary element set under an explicit Ownership
+// (Ownership.Partition). In both cases local elements are ordered by
+// ascending global element id — for the uniform split that is exactly
+// the x-fastest local ordering.
 type Local struct {
 	Box    *Box
 	Rank   int
-	Coords [3]int // processor-grid coordinates
-	Elems  [3]int // local elements per direction
-	First  [3]int // global coords of the first (lowest-corner) local element
+	Coords [3]int // processor-grid coordinates (uniform split only)
+	Elems  [3]int // local elements per direction (uniform split only)
+	First  [3]int // global coords of the first (lowest-gid) local element
 	Nel    int    // total local elements
+
+	// Own is the explicit ownership map behind this view; nil means the
+	// uniform box split.
+	Own *Ownership
+
+	// generalized-view element tables (Own != nil only)
+	gids    []int64
+	globals [][3]int
 }
 
 // Partition returns rank's local view.
@@ -109,12 +122,13 @@ func (b *Box) Partition(rank int) *Local {
 	}
 }
 
-// ElemIndex linearizes local element coordinates (x fastest).
+// ElemIndex linearizes local element coordinates (x fastest). Uniform
+// box splits only.
 func (l *Local) ElemIndex(ex, ey, ez int) int {
 	return ex + l.Elems[0]*(ey+l.Elems[1]*ez)
 }
 
-// ElemCoords inverts ElemIndex.
+// ElemCoords inverts ElemIndex. Uniform box splits only.
 func (l *Local) ElemCoords(e int) [3]int {
 	nx, ny := l.Elems[0], l.Elems[1]
 	return [3]int{e % nx, (e / nx) % ny, e / (nx * ny)}
@@ -122,8 +136,52 @@ func (l *Local) ElemCoords(e int) [3]int {
 
 // GlobalElemCoords returns the global coordinates of local element e.
 func (l *Local) GlobalElemCoords(e int) [3]int {
+	if l.Own != nil {
+		return l.globals[e]
+	}
 	c := l.ElemCoords(e)
 	return [3]int{l.First[0] + c[0], l.First[1] + c[1], l.First[2] + c[2]}
+}
+
+// GID returns the global element id of local element e.
+func (l *Local) GID(e int) int64 {
+	if l.Own != nil {
+		return l.gids[e]
+	}
+	return l.Box.GlobalElemID(l.GlobalElemCoords(e))
+}
+
+// GIDs returns every local element's global id in local order.
+func (l *Local) GIDs() []int64 {
+	if l.Own != nil {
+		return append([]int64(nil), l.gids...)
+	}
+	out := make([]int64, l.Nel)
+	for e := 0; e < l.Nel; e++ {
+		out[e] = l.GID(e)
+	}
+	return out
+}
+
+// LocalElemAt returns the local index of the element at global
+// coordinates g, or ok == false when this rank does not own it. It works
+// for both uniform and ownership-map views.
+func (l *Local) LocalElemAt(g [3]int) (int, bool) {
+	if l.Own != nil {
+		gid := l.Box.GlobalElemID(g)
+		if l.Own.Owner(gid) != l.Rank {
+			return 0, false
+		}
+		return l.Own.LocalIndex(gid), true
+	}
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		c[d] = g[d] - l.First[d]
+		if c[d] < 0 || c[d] >= l.Elems[d] {
+			return 0, false
+		}
+	}
+	return l.ElemIndex(c[0], c[1], c[2]), true
 }
 
 // Neighbor describes the element on the other side of a face.
@@ -150,6 +208,10 @@ func (l *Local) FaceNeighbor(e, f int) (nb Neighbor, ok bool) {
 		}
 		g[dim] = ((g[dim] % n) + n) % n
 	}
+	if l.Own != nil {
+		gid := l.Box.GlobalElemID(g)
+		return Neighbor{Rank: l.Own.Owner(gid), Elem: l.Own.LocalIndex(gid)}, true
+	}
 	rank := l.Box.OwnerOfElem(g)
 	per := l.Box.ElemsPerRank()
 	lc := [3]int{g[0] % per[0], g[1] % per[1], g[2] % per[2]}
@@ -159,7 +221,8 @@ func (l *Local) FaceNeighbor(e, f int) (nb Neighbor, ok bool) {
 
 // NeighborRanks returns the distinct remote ranks this rank exchanges
 // faces with, in ascending order — the nearest-neighbor communication
-// stencil (up to 6 for a 3D box decomposition).
+// stencil (up to 6 for a uniform 3D box decomposition; arbitrary
+// ownership maps may touch more).
 func (l *Local) NeighborRanks() []int {
 	seen := map[int]bool{}
 	for e := 0; e < l.Nel; e++ {
@@ -173,7 +236,7 @@ func (l *Local) NeighborRanks() []int {
 	for r := range seen {
 		out = append(out, r)
 	}
-	// Insertion sort: the list has at most 6 entries.
+	// Insertion sort: the list is short (6 for box splits).
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]

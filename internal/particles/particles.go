@@ -136,31 +136,49 @@ func (c *Cloud) GlobalCount() int64 {
 
 // Seed scatters n particles per rank uniformly over this rank's
 // subdomain, at rest, with globally unique ids. Deterministic for a given
-// seed.
+// seed. Under a non-uniform element ownership the subdomain is no longer
+// a box, so particles land in a uniformly chosen owned element instead.
 func (c *Cloud) Seed(n int, seed int64) {
 	rng := rand.New(rand.NewSource(seed + int64(c.rank.ID())*7919))
 	l := c.s.Local
-	per := l.Elems
-	base := [3]float64{float64(l.First[0]), float64(l.First[1]), float64(l.First[2])}
-	ext := [3]float64{float64(per[0]), float64(per[1]), float64(per[2])}
+	if l.Own == nil {
+		per := l.Elems
+		base := [3]float64{float64(l.First[0]), float64(l.First[1]), float64(l.First[2])}
+		ext := [3]float64{float64(per[0]), float64(per[1]), float64(per[2])}
+		for i := 0; i < n; i++ {
+			c.parts = append(c.parts, Particle{
+				ID: int64(c.rank.ID())*1e9 + int64(i),
+				Pos: [3]float64{
+					base[0] + rng.Float64()*ext[0],
+					base[1] + rng.Float64()*ext[1],
+					base[2] + rng.Float64()*ext[2],
+				},
+			})
+		}
+		return
+	}
+	if l.Nel == 0 {
+		return
+	}
 	for i := 0; i < n; i++ {
+		g := l.GlobalElemCoords(rng.Intn(l.Nel))
 		c.parts = append(c.parts, Particle{
 			ID: int64(c.rank.ID())*1e9 + int64(i),
 			Pos: [3]float64{
-				base[0] + rng.Float64()*ext[0],
-				base[1] + rng.Float64()*ext[1],
-				base[2] + rng.Float64()*ext[2],
+				float64(g[0]) + rng.Float64(),
+				float64(g[1]) + rng.Float64(),
+				float64(g[2]) + rng.Float64(),
 			},
 		})
 	}
 }
 
-// owner returns the rank owning position p, wrapping periodic directions;
-// ok is false when the position is outside a non-periodic domain (the
-// particle is considered to have left and is dropped).
-func (c *Cloud) owner(p *[3]float64) (int, bool) {
+// elemOf normalizes position p into the domain (wrapping periodic
+// directions in place) and returns the global coordinates of the element
+// containing it; ok is false when the position is outside a non-periodic
+// domain.
+func (c *Cloud) elemOf(p *[3]float64) (g [3]int, ok bool) {
 	box := c.s.Local.Box
-	var g [3]int
 	ext := [3]float64{c.lx, c.ly, c.lz}
 	for d := 0; d < 3; d++ {
 		if box.Periodic[d] {
@@ -170,14 +188,45 @@ func (c *Cloud) owner(p *[3]float64) (int, bool) {
 			}
 			p[d] = v
 		} else if p[d] < 0 || p[d] >= ext[d] {
-			return -1, false
+			return g, false
 		}
 		g[d] = int(p[d])
 		if g[d] >= box.ElemGrid[d] {
 			g[d] = box.ElemGrid[d] - 1
 		}
 	}
-	return box.OwnerOfElem(g), true
+	return g, true
+}
+
+// owner returns the rank owning position p under the solver's current
+// element ownership (the uniform box split until a rebalance migrates
+// elements), wrapping periodic directions; ok is false when the position
+// is outside a non-periodic domain (the particle is considered to have
+// left and is dropped).
+func (c *Cloud) owner(p *[3]float64) (int, bool) {
+	g, ok := c.elemOf(p)
+	if !ok {
+		return -1, false
+	}
+	return c.s.Ownership().Owner(c.s.Local.Box.GlobalElemID(g)), true
+}
+
+// CountsPerElem returns the number of local particles inside each local
+// element — the particle-density feed of the load balancer's cost model.
+func (c *Cloud) CountsPerElem() []int {
+	l := c.s.Local
+	counts := make([]int, l.Nel)
+	for i := range c.parts {
+		pos := c.parts[i].Pos
+		g, ok := c.elemOf(&pos)
+		if !ok {
+			continue
+		}
+		if e, mine := l.LocalElemAt(g); mine {
+			counts[e]++
+		}
+	}
+	return counts
 }
 
 // FluidVelocityAt interpolates the fluid velocity of the bound solver at

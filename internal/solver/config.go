@@ -126,6 +126,22 @@ type Config struct {
 	// for behavioral emulation (default hw.Generic).
 	Machine hw.Machine
 
+	// HotElems skews the modeled per-element compute cost: global
+	// element id -> work multiplier (> 0; absent elements cost 1). It
+	// models the non-uniform element cost of multiphase flow — particle
+	// clouds concentrating in a few elements — without changing the
+	// physics: only the virtual clock feels it, so solutions are
+	// bit-identical with any skew. This is the knob load-imbalance
+	// scenarios are built from; the load balancer migrates hot elements
+	// to even the skew out. Shared by all ranks.
+	HotElems map[int64]float64
+
+	// Ownership, when non-nil, replaces the uniform box split with an
+	// explicit element->rank map (e.g. restored from a checkpoint taken
+	// after a rebalance). It must be built over the same Box this config
+	// describes and be identical on every rank.
+	Ownership *mesh.Ownership
+
 	// Workers is the intra-rank worker-pool width for the
 	// element-indexed kernels (two-level concurrency: ranks x workers).
 	// Elements write disjoint output, so results are bit-identical at
@@ -196,6 +212,11 @@ func (c *Config) Validate(p int) error {
 	}
 	if c.CFL <= 0 {
 		return fmt.Errorf("solver: CFL must be positive, got %g", c.CFL)
+	}
+	for gid, m := range c.HotElems {
+		if m <= 0 {
+			return fmt.Errorf("solver: hot element %d has non-positive multiplier %g", gid, m)
+		}
 	}
 	return nil
 }

@@ -70,6 +70,24 @@ type Solver struct {
 	// points normal to direction d.
 	liftScale [3]float64
 
+	// Per-element work weights (Config.HotElems): elemW[e] is local
+	// element e's cost multiplier, wSum their sum, workScale the factor
+	// (wSum/Nel) every volume-proportional compute charge is scaled by.
+	// All 1 without hot elements, so modeled times are unchanged.
+	elemW     []float64
+	wSum      float64
+	workScale float64
+
+	// kernelSec accumulates the virtual seconds this rank's clock
+	// advanced inside chargeCompute — the measured per-rank kernel time
+	// (including straggler compute factors) the load balancer's cost
+	// model consumes.
+	kernelSec float64
+
+	// ow is the current element ownership map (lazily the uniform split;
+	// replaced by Remap).
+	ow *mesh.Ownership
+
 	// Accumulated structural op counts (feeds the hw model).
 	Ops sem.OpCount
 
@@ -95,6 +113,12 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	local := box.Partition(r.ID())
+	if cfg.Ownership != nil {
+		if *cfg.Ownership.Box() != *box {
+			return nil, fmt.Errorf("solver: ownership map built over a different box")
+		}
+		local = cfg.Ownership.Partition(r.ID())
+	}
 	ref := sem.NewRef1D(cfg.N)
 	if cfg.Dealias && cfg.GaussDealias {
 		ref = sem.NewRef1DGauss(cfg.N)
@@ -108,11 +132,48 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		Prof:  prof.New(),
 		rx:    2, // reference element [-1,1] onto unit cube
 		rt:    cfg.Obs.Rank(r.ID(), r.Clock()),
+		ow:    cfg.Ownership,
 	}
+	vol := local.Nel * cfg.N * cfg.N * cfg.N
+	for c := 0; c < NumFields; c++ {
+		s.U[c] = make([]float64, vol)
+	}
+	s.pool = pool.New(cfg.Workers)
+	s.pool.Observe(cfg.Metrics)
+	s.wsPart = make([]float64, s.pool.Workers())
+	if cfg.Dealias {
+		s.deaBufs = ref.NewDealiasBufs(s.pool.Workers())
+	}
+	if cfg.FilterCutoff > 0 {
+		s.filterMat = sem.FilterMatrix(ref.X, cfg.FilterCutoff, 1.0)
+		s.filterScratch = make([]float64, sem.FilterScratchLen(cfg.N))
+	}
+	for d := 0; d < 3; d++ {
+		s.liftScale[d] = s.rx / ref.W[0]
+	}
+	s.allocScratch()
+
+	s.setupGS()
+	if cfg.AutoTune {
+		stop := s.span("gs_autotune", obs.CatComm)
+		gs.TuneModeled(s.gsh, cfg.TuneTrials)
+		stop()
+	} else {
+		s.gsh.SetMethod(cfg.GSMethod)
+	}
+	return s, nil
+}
+
+// allocScratch (re)allocates every local-size-dependent working array —
+// everything except the conserved state U and the source fields, which
+// Remap migrates rather than rebuilds — and refreshes the boundary mask
+// and per-element work weights. Called at construction and after every
+// element migration.
+func (s *Solver) allocScratch() {
+	local, cfg := s.Local, &s.Cfg
 	n3 := cfg.N * cfg.N * cfg.N
 	vol := local.Nel * n3
 	for c := 0; c < NumFields; c++ {
-		s.U[c] = make([]float64, vol)
 		s.rhs[c] = make([]float64, vol)
 		s.u1[c] = make([]float64, vol)
 		s.u2[c] = make([]float64, vol)
@@ -132,16 +193,6 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		s.exF[c] = make([]float64, faceLen)
 	}
 	s.faceW = make([]float64, faceLen)
-	s.pool = pool.New(cfg.Workers)
-	s.pool.Observe(cfg.Metrics)
-	s.wsPart = make([]float64, s.pool.Workers())
-	if cfg.Dealias {
-		s.deaBufs = ref.NewDealiasBufs(s.pool.Workers())
-	}
-	if cfg.FilterCutoff > 0 {
-		s.filterMat = sem.FilterMatrix(ref.X, cfg.FilterCutoff, 1.0)
-		s.filterScratch = make([]float64, sem.FilterScratchLen(cfg.N))
-	}
 	if cfg.Mu > 0 {
 		for q := 0; q < numGradQ; q++ {
 			s.gradQ[q] = make([]float64, vol)
@@ -149,9 +200,6 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 				s.gradD[q][d] = make([]float64, vol)
 			}
 		}
-	}
-	for d := 0; d < 3; d++ {
-		s.liftScale[d] = s.rx / ref.W[0]
 	}
 
 	// Boundary mask: face points without a neighbor (non-periodic domain
@@ -170,21 +218,40 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 			}
 		}
 	}
+	s.initWeights()
+}
 
-	// Gather-scatter over DG face-point ids (gs_setup, with its
-	// generalized all-to-all discovery phase).
+// initWeights rebuilds the per-element work weights from Config.HotElems
+// for the current local element set.
+func (s *Solver) initWeights() {
+	nel := s.Local.Nel
+	s.elemW = make([]float64, nel)
+	s.wSum = 0
+	for e := 0; e < nel; e++ {
+		w := 1.0
+		if len(s.Cfg.HotElems) > 0 {
+			if m, ok := s.Cfg.HotElems[s.Local.GID(e)]; ok {
+				w = m
+			}
+		}
+		s.elemW[e] = w
+		s.wSum += w
+	}
+	if nel > 0 {
+		s.workScale = s.wSum / float64(nel)
+	} else {
+		s.workScale = 1
+	}
+}
+
+// setupGS (re)builds the gather-scatter handle over the current local
+// element set (gs_setup, with its generalized all-to-all discovery
+// phase). Collective.
+func (s *Solver) setupGS() {
 	stop := s.span("gs_setup", obs.CatComm)
-	s.gsh = gs.Setup(r, local.DGFaceIDs())
+	s.gsh = gs.Setup(s.Rank, s.Local.DGFaceIDs())
 	stop()
 	s.gsh.SetSpanner(s.rt)
-	if cfg.AutoTune {
-		stop := s.span("gs_autotune", obs.CatComm)
-		gs.TuneModeled(s.gsh, cfg.TuneTrials)
-		stop()
-	} else {
-		s.gsh.SetMethod(cfg.GSMethod)
-	}
-	return s, nil
 }
 
 // span opens both a profiler region and a telemetry span under the same
@@ -294,11 +361,57 @@ func GaussianPulse(cx, cy, cz, amp, sigma float64) func(x, y, z float64) [NumFie
 
 // chargeCompute advances the rank's virtual clock by the modeled cost of
 // ops under traits on the configured machine (behavioral emulation of the
-// compute phases between messages).
+// compute phases between messages). The charge is scaled by the
+// per-element work weights (Config.HotElems): every charged kernel is
+// volume-proportional, so a rank's compute cost is the mean weight of
+// its elements times the structural cost. The advance (including any
+// straggler compute factor) is also accumulated into kernelSec, the
+// measured kernel time the load balancer's cost model reads.
 func (s *Solver) chargeCompute(ops sem.OpCount, tr hw.Traits) {
 	s.Ops = s.Ops.Plus(ops)
 	t := hw.Time(s.Cfg.Machine, hw.Ops{Mul: ops.Mul, Add: ops.Add, Load: ops.Load, Store: ops.Store}, tr)
-	s.Rank.Clock().Advance(t)
+	t *= s.workScale
+	clock := s.Rank.Clock()
+	before := clock.Now()
+	clock.Advance(t)
+	s.kernelSec += clock.Now() - before
+}
+
+// KernelSeconds returns the cumulative modeled compute seconds charged on
+// this rank (virtual-clock advance of every kernel, including straggler
+// compute factors) — the measurement feed of the load balancer.
+func (s *Solver) KernelSeconds() float64 { return s.kernelSec }
+
+// ElemCostShares fills dst (grown if needed) with each local element's
+// share of this rank's compute charge: weight_e / sum(weights), summing
+// to 1. Multiplying by a measured kernel-seconds delta attributes rank
+// time to elements.
+func (s *Solver) ElemCostShares(dst []float64) []float64 {
+	nel := s.Local.Nel
+	if cap(dst) < nel {
+		dst = make([]float64, nel)
+	}
+	dst = dst[:nel]
+	for e := 0; e < nel; e++ {
+		dst[e] = s.elemW[e] / s.wSum
+	}
+	return dst
+}
+
+// Ownership returns the current element->rank map (building the uniform
+// one on first use when the run started from the static box split).
+func (s *Solver) Ownership() *mesh.Ownership {
+	if s.ow == nil {
+		s.ow = s.Local.Box.UniformOwnership()
+	}
+	return s.ow
+}
+
+// TraceSpan opens a named profiler region + telemetry span on this rank
+// (for subsystems layered on the solver, e.g. the load balancer's
+// rebalance epochs). Close the returned func to end it.
+func (s *Solver) TraceSpan(name string, cat obs.Category) func() {
+	return s.span(name, cat)
 }
 
 // derivTraits returns the hw traits matching the configured kernel

@@ -227,11 +227,22 @@ type Report struct {
 // wave speed each step (the per-step vector reductions of the real code),
 // and returns a summary. Collective.
 func (s *Solver) Run(steps int) Report {
+	return s.RunWith(steps, nil)
+}
+
+// RunWith is Run with a per-step hook: after is called at the end of
+// every timestep (post-telemetry). The hook may be collective — the load
+// balancer's epoch logic runs here — but must be called consistently on
+// every rank.
+func (s *Solver) RunWith(steps int, after func(step int)) Report {
 	var dt float64
 	for i := 0; i < steps; i++ {
 		dt = s.StableDt()
 		s.Step(dt)
 		s.stepTelemetry(i, dt)
+		if after != nil {
+			after(i)
+		}
 	}
 	s.Prof.Finish()
 	return Report{

@@ -9,10 +9,13 @@ import (
 )
 
 // TestStragglerShowsLoadImbalanceSignature reproduces the paper's
-// load-balancing observation (Figures 8-9): when one rank computes
-// slower, every *other* rank's modeled time fills up with MPI waiting —
-// the straggler itself shows the lowest MPI share, its peers the
-// highest. This is the behavioral-emulation read-out of MPI_Wait skew.
+// load-balancing observation (Figures 8-9): when one rank's elements
+// cost more — the per-element cost skew of particle-laden multiphase
+// flow, modeled by Config.HotElems — every *other* rank's modeled time
+// fills up with MPI waiting: the straggler itself shows the lowest MPI
+// share, its peers the highest. This is the behavioral-emulation
+// read-out of MPI_Wait skew, and exactly the signature the loadbal
+// subsystem erases by migrating hot elements.
 func TestStragglerShowsLoadImbalanceSignature(t *testing.T) {
 	for _, workers := range []int{1, 3} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
@@ -27,12 +30,11 @@ func TestStragglerShowsLoadImbalanceSignature(t *testing.T) {
 // serially or on a pool.
 func testStragglerSignature(t *testing.T, workers int) {
 	const np = 8
-	run := func(factors []float64) []comm.RankMPI {
+	run := func(hot map[int64]float64) []comm.RankMPI {
 		cfg := DefaultConfig(np, 6, 2)
 		cfg.Workers = workers
-		opts := cfg.CommOptions(netmodel.QDR)
-		opts.ComputeFactors = factors
-		stats, err := comm.Run(np, opts, func(r *comm.Rank) error {
+		cfg.HotElems = hot
+		stats, err := comm.Run(np, cfg.CommOptions(netmodel.QDR), func(r *comm.Rank) error {
 			s, err := New(r, cfg)
 			if err != nil {
 				return err
@@ -56,13 +58,19 @@ func testStragglerSignature(t *testing.T, workers int) {
 	}
 	balancedFrac /= np
 
-	// Rank 3 runs 60% slower.
-	factors := make([]float64, np)
-	for i := range factors {
-		factors[i] = 1
+	// Every element of rank 3's subdomain costs 60% more: the rank-level
+	// effect matches a 1.6x compute factor, but the skew now lives on
+	// elements, so a load balancer could migrate it away.
+	cfg := DefaultConfig(np, 6, 2)
+	box, err := cfg.Mesh()
+	if err != nil {
+		t.Fatal(err)
 	}
-	factors[3] = 1.6
-	skewed := run(factors)
+	hot := make(map[int64]float64)
+	for _, gid := range box.Partition(3).GIDs() {
+		hot[gid] = 1.6
+	}
+	skewed := run(hot)
 
 	stragglerFrac := skewed[3].FracModeled()
 	peerFrac := 0.0
