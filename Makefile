@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sweep bench-workers bench-loadbal
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-sweep bench-workers bench-loadbal
 
 all: check
 
@@ -20,7 +20,22 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/pool/... ./internal/gs/... ./internal/sem/...
 	$(GO) test -race -run 'TestWorkers|TestStraggler' ./internal/solver/...
-	$(GO) test -race ./internal/loadbal/...
+	$(GO) test -race ./internal/loadbal/... ./internal/fault/...
+
+# Fixed-seed chaos suite under the race detector: crash/recovery across 5
+# seeds, message-fault bit-identity, dead-sender detection, shrink, and
+# the remapped-restore path. Deterministic — same seeds every run.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestMessageFaults|TestStall|TestWaitErr|TestKill|TestShrink|TestBlockingRecv|TestDrop|TestCorruption|TestDelay|TestRehome|TestRestoreRemapped' \
+		./internal/fault/... ./internal/comm/... ./internal/checkpoint/...
+
+# 10-second fuzz smoke per binary-parser target (one target per
+# invocation, as go test requires).
+fuzz-smoke:
+	$(GO) test -race -run '^$$' -fuzz '^FuzzRead$$' -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -race -run '^$$' -fuzz '^FuzzReadParticles$$' -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -race -run '^$$' -fuzz '^FuzzDecodeOwnershipWire$$' -fuzztime 10s ./internal/mesh/
+	$(GO) test -race -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s ./internal/fault/
 
 # Quick worker-sweep smoke: the derivative kernel across pool widths
 # (1..NumCPU) plus the gs zero-alloc benches. Fast enough for check/CI;
@@ -28,7 +43,7 @@ race:
 bench-sweep:
 	$(GO) test -run xxx -bench 'WorkerSweep|GSAlloc' -benchmem -benchtime 20x . ./internal/gs/
 
-check: vet build test race bench-sweep
+check: vet build test race chaos bench-sweep
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/fault"
 	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/diag"
@@ -55,6 +56,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve live pprof and expvar on this address (e.g. :6060)")
 	workers := flag.Int("workers", 0, "intra-rank worker-pool width for the spectral-element kernels (0 = GOMAXPROCS/ranks, min 1)")
 	useLB := flag.Bool("loadbal", false, "enable dynamic load balancing (measured-cost SFC repartitioning with element migration)")
+	faultsSpec := flag.String("faults", "", "fault scenario: a JSON file path, or inline JSON starting with '{' (see README)")
+	faultSeed := flag.Int64("fault-seed", 0, "override the scenario's seed (0 keeps the spec's own)")
+	hbEvery := flag.Int("heartbeat-every", 1, "steps between failure-detection heartbeat rounds under -faults")
+	ckptEvery := flag.Int("ckpt-every", 0, "auto-checkpoint period in steps under -faults (written into the -ckpt directory; required for crash recovery)")
 	lbThreshold := flag.Float64("imbalance-threshold", 1.2, "rank cost imbalance (max/mean) above which a rebalance is considered")
 	lbEvery := flag.Int("rebalance-every", 10, "steps between load-balance measure/decide epochs")
 	hotSpec := flag.String("hot", "", "comma-separated rank=factor pairs skewing per-element modeled cost (e.g. 3=4 makes rank 3's elements 4x)")
@@ -120,6 +125,25 @@ func main() {
 		log.Fatalf("-net: %v", err)
 	}
 
+	var spec *fault.Spec
+	if *faultsSpec != "" {
+		if *useLB {
+			// Recovery re-homes elements itself; two subsystems rewriting
+			// the ownership mid-run would fight over the partition.
+			log.Fatalf("-faults cannot be combined with -loadbal")
+		}
+		spec, err = fault.Load(*faultsSpec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		if *faultSeed != 0 {
+			spec.Seed = *faultSeed
+		}
+		if len(spec.Crashes) > 0 && (*ckptDir == "" || *ckptEvery <= 0) {
+			log.Fatalf("-faults: crash scenarios need -ckpt and -ckpt-every for rollback recovery")
+		}
+	}
+
 	// Telemetry: the span tracer, metrics registry, and step collector
 	// only observe — they never advance the virtual clock, so the modeled
 	// run is bit-identical with them on or off.
@@ -130,7 +154,7 @@ func main() {
 		metricsFile *os.File
 		traceFile   *os.File
 	)
-	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" || *useLB {
+	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" || *useLB || spec != nil {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -167,6 +191,11 @@ func main() {
 	if tel != nil || reg != nil {
 		opts.Tracer = obs.NewCommTracer(tel, reg)
 	}
+	var inj *fault.Injector
+	if spec != nil {
+		inj = fault.NewInjector(spec, *np, reg)
+		opts.Faults = inj
+	}
 
 	fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
 		*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
@@ -184,25 +213,47 @@ func main() {
 	balancers := make([]*loadbal.Balancer, *np)
 	var flowDiag diag.Summary
 	var spectrum diag.Spectrum
+	recoveries := make([]int, *np)
 	stats, err := comm.Run(*np, opts, func(r *comm.Rank) error {
 		s, err := solver.New(r, cfg)
 		if err != nil {
 			return err
 		}
-		defer s.Close()
 		s.SetInitial(solver.GaussianPulse(
 			float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
 			0.1, float64(cfg.ElemGrid[0])/8+0.25))
-		var after func(int)
-		if *useLB {
-			b := loadbal.New(s, nil, reg, loadbal.Config{
-				Threshold: *lbThreshold,
-				Every:     *lbEvery,
+		if spec != nil {
+			rn, err := fault.NewRunner(s, fault.Config{
+				Spec: spec, CkptDir: *ckptDir, CkptEvery: *ckptEvery,
+				HeartbeatEvery: *hbEvery, Metrics: reg,
 			})
-			balancers[r.ID()] = b
-			after = b.AfterStep
+			if err != nil {
+				s.Close()
+				return err
+			}
+			// The runner owns the current solver: after a recovery the
+			// original is already closed and replaced.
+			defer rn.Close()
+			rep, err := rn.Run(*steps)
+			if err != nil {
+				return err
+			}
+			s = rn.Solver()
+			reports[r.ID()] = rep
+			recoveries[r.ID()] = rn.Recoveries
+		} else {
+			defer s.Close()
+			var after func(int)
+			if *useLB {
+				b := loadbal.New(s, nil, reg, loadbal.Config{
+					Threshold: *lbThreshold,
+					Every:     *lbEvery,
+				})
+				balancers[r.ID()] = b
+				after = b.AfterStep
+			}
+			reports[r.ID()] = s.RunWith(*steps, after)
 		}
-		reports[r.ID()] = s.RunWith(*steps, after)
 		profs[r.ID()] = s.Prof
 		methods[r.ID()] = s.GS().Method()
 		if *showDiag {
@@ -223,12 +274,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := reports[0]
+	// Ranks killed by a fault scenario leave zero-valued entries; report
+	// from the first rank that finished.
+	live := 0
+	for i := range reports {
+		if reports[i].Steps != 0 {
+			live = i
+			break
+		}
+	}
+	rep := reports[live]
 	fmt.Printf("done: steps=%d dt=%.3e mass=%.12f energy=%.9f lambda=%.6f\n",
 		rep.Steps, rep.Dt, rep.Mass, rep.Energy, rep.WaveSpeed)
-	fmt.Printf("gather-scatter method in use: %s\n", methods[0])
+	fmt.Printf("gather-scatter method in use: %s\n", methods[live])
 	fmt.Printf("wall time: %.3fs   modeled makespan: %.6fs   flops/rank: %.3g\n",
 		stats.Wall, stats.MaxVirtualTime(), float64(rep.Ops.Flops()))
+	if inj != nil {
+		fmt.Printf("faults: killed=%v recoveries=%d drops=%d corruptions=%d (crc-detected %d) delays=%d retransmits=%d\n",
+			stats.Killed, recoveries[live], inj.Drops(), inj.Corrupts(),
+			stats.CRCDetected, inj.Delays(), stats.Retransmits)
+		if inj.Detected() < inj.Corrupts() && len(stats.Killed) == 0 {
+			fmt.Printf("faults: WARNING: %d corruptions were never received — investigate\n",
+				inj.Corrupts()-inj.Detected())
+		}
+	}
 	if *useLB {
 		b := balancers[0]
 		moved, bytes := 0, int64(0)
@@ -283,8 +352,14 @@ func main() {
 		fmt.Printf("density modal spectrum (decay ratio %.2e):\n%s", spectrum.DecayRatio(), spectrum.Format())
 	}
 	if *showProfile {
+		liveProfs := profs[:0]
+		for _, p := range profs {
+			if p != nil {
+				liveProfs = append(liveProfs, p)
+			}
+		}
 		fmt.Println()
-		fmt.Print(report.Fig4ExecutionProfile(profs, stats))
+		fmt.Print(report.Fig4ExecutionProfile(liveProfs, stats))
 	}
 	if *showMPI {
 		fmt.Println()

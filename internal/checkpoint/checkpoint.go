@@ -114,8 +114,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("checkpoint: implausible header: N=%d Nel=%d", m.N, m.Nel)
 	}
 	if version >= 2 {
-		gids := make([]int64, m.Nel)
-		if err := binary.Read(r, binary.LittleEndian, gids); err != nil {
+		gids, err := readInt64sChunked(r, int(m.Nel))
+		if err != nil {
 			return nil, fmt.Errorf("checkpoint: read gids: %w", err)
 		}
 		total := int64(m.ElemGrid[0]) * int64(m.ElemGrid[1]) * int64(m.ElemGrid[2])
@@ -149,6 +149,26 @@ func readFloatsChunked(r io.Reader, n int) ([]float64, error) {
 	const chunk = 1 << 16
 	out := make([]float64, 0, min(n, chunk))
 	buf := make([]float64, chunk)
+	for len(out) < n {
+		want := n - len(out)
+		if want > chunk {
+			want = chunk
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:want]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:want]...)
+	}
+	return out, nil
+}
+
+// readInt64sChunked reads exactly n int64s, allocating as data arrives —
+// like readFloatsChunked, it makes a forged header claiming a huge count
+// fail at EOF instead of exhausting memory.
+func readInt64sChunked(r io.Reader, n int) ([]int64, error) {
+	const chunk = 1 << 16
+	out := make([]int64, 0, min(n, chunk))
+	buf := make([]int64, chunk)
 	for len(out) < n {
 		want := n - len(out)
 		if want > chunk {
@@ -308,8 +328,11 @@ func readGIDHeader(dir, tag string, rank int) (gids []int64, uniform bool, err e
 	if int(meta.Rank) != rank {
 		return nil, false, fmt.Errorf("checkpoint: rank %d file recorded for rank %d", rank, meta.Rank)
 	}
-	gids = make([]int64, meta.Nel)
-	if err := binary.Read(f, binary.LittleEndian, gids); err != nil {
+	if meta.Nel < 0 {
+		return nil, false, fmt.Errorf("checkpoint: negative element count in rank %d file", rank)
+	}
+	gids, err = readInt64sChunked(f, int(meta.Nel))
+	if err != nil {
 		return nil, false, fmt.Errorf("checkpoint: read gids of rank %d: %w", rank, err)
 	}
 	return gids, false, nil

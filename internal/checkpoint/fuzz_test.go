@@ -3,7 +3,31 @@ package checkpoint
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/solver"
 )
+
+// validCheckpointBytes serializes a real (small) solver state, so the
+// fuzzer starts from a fully valid input and mutates deep fields, not
+// just the header.
+func validCheckpointBytes(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	cfg := solver.DefaultConfig(1, 4, 2)
+	if _, err := comm.RunSimple(1, func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+		return Write(&buf, s, 3, 0.25)
+	}); err != nil {
+		f.Fatalf("building seed checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
 
 // FuzzRead throws arbitrary bytes at the checkpoint parser; it must
 // reject or parse, never panic or allocate absurdly.
@@ -14,6 +38,16 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x42, 0x54, 0x4d, 0x43})
 	f.Add(bytes.Repeat([]byte{0xff}, 128))
+	// A complete valid checkpoint, plus truncated and bit-flipped copies.
+	full := validCheckpointBytes(f)
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(full)-3])
+	for _, bit := range []int{17, len(full)*4 + 5, len(full)*8 - 9} {
+		flipped := append([]byte(nil), full...)
+		flipped[bit/8%len(full)] ^= 1 << (bit % 8)
+		f.Add(flipped)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Guard against headers claiming giant element counts: Read
 		// must fail cleanly, not OOM (the Nel/N sanity check).

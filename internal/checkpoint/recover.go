@@ -1,0 +1,86 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// RestoreRemapped restores a checkpoint set written by nfiles ranks into
+// a solver whose partition — and possibly communicator size — no longer
+// matches the files: the failure-recovery path, where survivors of a rank
+// crash rebuild solvers over a re-homed ownership map and resume from the
+// last complete checkpoint. Every calling rank reads all nfiles files and
+// copies out the elements its current ownership assigns to it; the mesh
+// shape (N, element grid, processor grid — survivors keep the original
+// box) is validated against the solver's config, per-file rank/Nel checks
+// are deliberately not applied (the partition has changed), and every
+// local element must be covered by exactly one file. Collective in
+// effect: all ranks must call it against the same checkpoint set.
+func RestoreRemapped(s *solver.Solver, dir, tag string, nfiles int) (step int64, simTime float64, err error) {
+	if nfiles < 1 {
+		return 0, 0, fmt.Errorf("checkpoint: restore from %d files", nfiles)
+	}
+	own := s.Ownership()
+	me := s.Rank.ID()
+	n3 := s.Cfg.N * s.Cfg.N * s.Cfg.N
+	filled := make([]bool, s.Local.Nel)
+	first := true
+	for rank := 0; rank < nfiles; rank++ {
+		snap, rerr := ReadFile(dir, tag, rank)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		m := snap.Meta
+		if int(m.N) != s.Cfg.N ||
+			int(m.ElemGrid[0]) != s.Cfg.ElemGrid[0] ||
+			int(m.ElemGrid[1]) != s.Cfg.ElemGrid[1] ||
+			int(m.ElemGrid[2]) != s.Cfg.ElemGrid[2] ||
+			int(m.ProcGrid[0]) != s.Cfg.ProcGrid[0] ||
+			int(m.ProcGrid[1]) != s.Cfg.ProcGrid[1] ||
+			int(m.ProcGrid[2]) != s.Cfg.ProcGrid[2] {
+			return 0, 0, fmt.Errorf("checkpoint: mesh mismatch in file %d: snapshot N=%d grid=%v procs=%v vs config N=%d grid=%v procs=%v",
+				rank, m.N, m.ElemGrid, m.ProcGrid, s.Cfg.N, s.Cfg.ElemGrid, s.Cfg.ProcGrid)
+		}
+		if first {
+			step, simTime = m.Step, m.Time
+			first = false
+		} else if m.Step != step || m.Time != simTime {
+			return 0, 0, fmt.Errorf("checkpoint: file %d is at step %d/time %g, set started at step %d/time %g",
+				rank, m.Step, m.Time, step, simTime)
+		}
+		gids := snap.GIDs
+		if gids == nil {
+			// Version-1 file: the gid list is the uniform split of the
+			// rank recorded in the header.
+			if int(m.Rank) < 0 || int(m.Rank) >= s.Local.Box.Ranks() {
+				return 0, 0, fmt.Errorf("checkpoint: file %d records rank %d outside the box's %d ranks",
+					rank, m.Rank, s.Local.Box.Ranks())
+			}
+			gids = s.Local.Box.Partition(int(m.Rank)).GIDs()
+			if len(gids) != int(m.Nel) {
+				return 0, 0, fmt.Errorf("checkpoint: version-1 file %d has %d elements, uniform split gives %d",
+					rank, m.Nel, len(gids))
+			}
+		}
+		for e, g := range gids {
+			if own.Owner(g) != me {
+				continue
+			}
+			ne := own.LocalIndex(g)
+			if filled[ne] {
+				return 0, 0, fmt.Errorf("checkpoint: element %d restored twice", g)
+			}
+			for c := 0; c < solver.NumFields; c++ {
+				copy(s.U[c][ne*n3:(ne+1)*n3], snap.U[c][e*n3:(e+1)*n3])
+			}
+			filled[ne] = true
+		}
+	}
+	for e, ok := range filled {
+		if !ok {
+			return 0, 0, fmt.Errorf("checkpoint: no file covers local element %d (gid %d)", e, s.Local.GID(e))
+		}
+	}
+	return step, simTime, nil
+}

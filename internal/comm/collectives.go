@@ -99,22 +99,11 @@ const collTagBase = 1 << 24
 // buffers after each round's send.
 
 func (r *Rank) sendRaw(dst, tag int, data []float64, ints []int64) int64 {
-	m := r.comm.getMessage()
-	m.src, m.tag = r.id, tag
-	m.data = append(m.data[:0], data...)
-	m.ints = append(m.ints[:0], ints...)
-	nbytes := m.bytes()
-	hops := r.comm.hops(r.id, dst)
-	sendVT := r.clock.Now()
-	m.arrival = r.clock.SendStamp(int(nbytes), hops)
-	arrival := m.arrival
-	r.comm.boxes[dst].put(m)
-	r.comm.trace(r.id, dst, tag, nbytes, hops, sendVT, arrival, r.prof.site)
-	return nbytes
+	return r.deliver(dst, tag, data, ints)
 }
 
 func (r *Rank) recvRaw(src, tag int) *message {
-	m := r.comm.boxes[r.id].take(src, tag)
+	m := r.mustTake(src, tag)
 	r.clock.WaitUntil(m.arrival)
 	return m
 }

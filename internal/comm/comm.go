@@ -22,7 +22,9 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netmodel"
@@ -53,6 +55,14 @@ type Options struct {
 	// modeled compute by the given factor (1 = nominal, 1.5 = 50%
 	// slower) — straggler injection for load-imbalance studies.
 	ComputeFactors []float64
+	// Faults, when non-nil, installs a fault-injection plane that sees
+	// every wire message and may drop (with retransmit), corrupt (with
+	// CRC detection and retransmit) or delay it. Installing a fault
+	// plane forces CRC framing on.
+	Faults FaultPlane
+	// CRC enables per-message CRC framing even without a fault plane:
+	// every payload is checksummed at send and verified at receive.
+	CRC bool
 }
 
 // Comm is the shared state of one communicator: the mailboxes and the
@@ -65,6 +75,28 @@ type Comm struct {
 	periodic [3]bool
 	hasGrid  bool
 	tracer   Tracer
+
+	// Fault plane state. faults/crc are inherited by shrunken
+	// sub-communicators; dead is per-communicator (one flag per member),
+	// set by Rank.Kill and observed by blocked receives.
+	faults FaultPlane
+	crc    bool
+	dead   []atomic.Bool
+
+	// Shrink bookkeeping. parent/parentOf link a shrunken communicator
+	// to the one it was carved from (parentOf[i] = member i's id in the
+	// parent); worldOf[i] is member i in the original world numbering
+	// (nil = identity). children dedups Shrink calls so every member of
+	// the same member list shares one sub-communicator.
+	parent   *Comm
+	parentOf []int
+	worldOf  []int
+	childMu  sync.Mutex
+	children map[string]*Comm
+
+	// Fault-plane counters, aggregated into Stats (including children).
+	crcDetected atomic.Int64
+	retransmits atomic.Int64
 
 	// msgPool recycles message envelopes (and their payload capacity)
 	// between sends. Messages only return here through Request.Free —
@@ -84,7 +116,76 @@ func (c *Comm) getMessage() *message {
 // putMessage returns a message to the pool, keeping payload capacity.
 func (c *Comm) putMessage(m *message) {
 	m.src, m.tag, m.arrival = 0, 0, 0
+	m.crc, m.framed = 0, false
 	c.msgPool.Put(m)
+}
+
+// rankDead reports whether member id of this communicator was killed.
+func (c *Comm) rankDead(id int) bool { return c.dead[id].Load() }
+
+// worldIDOf translates a member id of this communicator to the original
+// world numbering.
+func (c *Comm) worldIDOf(id int) int {
+	if c.worldOf == nil {
+		return id
+	}
+	return c.worldOf[id]
+}
+
+// markDead flags member id of this communicator (and the corresponding
+// member of every ancestor communicator) as dead and wakes all blocked
+// receivers so they can observe it. The dead flag is set before each
+// mailbox's lock is taken to broadcast, which makes the wakeup race-free
+// (see mailbox.wake).
+func (c *Comm) markDead(id int) {
+	for c != nil {
+		c.dead[id].Store(true)
+		for _, b := range c.boxes {
+			b.wake()
+		}
+		if c.parent == nil {
+			return
+		}
+		id = c.parentOf[id]
+		c = c.parent
+	}
+}
+
+// closeAll closes every mailbox of this communicator and, recursively, of
+// every shrunken sub-communicator, so an abort unwinds ranks blocked at
+// any communicator level.
+func (c *Comm) closeAll() {
+	for _, b := range c.boxes {
+		b.close()
+	}
+	c.childMu.Lock()
+	kids := make([]*Comm, 0, len(c.children))
+	for _, k := range c.children {
+		kids = append(kids, k)
+	}
+	c.childMu.Unlock()
+	for _, k := range kids {
+		k.closeAll()
+	}
+}
+
+// faultTotals sums the fault-plane counters over this communicator and
+// all shrunken sub-communicators.
+func (c *Comm) faultTotals() (crcDetected, retransmits int64) {
+	crcDetected = c.crcDetected.Load()
+	retransmits = c.retransmits.Load()
+	c.childMu.Lock()
+	kids := make([]*Comm, 0, len(c.children))
+	for _, k := range c.children {
+		kids = append(kids, k)
+	}
+	c.childMu.Unlock()
+	for _, k := range kids {
+		a, b := k.faultTotals()
+		crcDetected += a
+		retransmits += b
+	}
+	return crcDetected, retransmits
 }
 
 // Size returns the number of ranks.
@@ -130,6 +231,19 @@ type Stats struct {
 	Wall         float64    // host wall seconds for the whole run
 	VirtualTimes []float64  // final netmodel clock per rank
 	Profiles     []*Profile // per-rank MPI profiles, indexed by rank
+
+	// Killed lists the world ranks that died via Rank.Kill, ascending.
+	// A killed rank does not abort the run; its survivors' results are
+	// still valid.
+	Killed []int
+	// CRCDetected counts receive-side CRC rejections (each followed by a
+	// successful retransmission) across the run, including shrunken
+	// sub-communicators. With a fault plane installed this equals the
+	// corruptions that were actually received — zero silent corruption.
+	CRCDetected int64
+	// Retransmits counts messages the fault plane dropped or corrupted,
+	// each of which cost one modeled retransmission timeout.
+	Retransmits int64
 }
 
 // MaxVirtualTime returns the slowest rank's modeled completion time, the
@@ -157,6 +271,9 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 		model = netmodel.Loopback
 	}
 	c := &Comm{size: size, model: model, tracer: opts.Tracer}
+	c.faults = opts.Faults
+	c.crc = opts.CRC || opts.Faults != nil
+	c.dead = make([]atomic.Bool, size)
 	if opts.Grid != [3]int{} {
 		if opts.Grid[0]*opts.Grid[1]*opts.Grid[2] != size {
 			return nil, fmt.Errorf("comm: grid %v does not tile %d ranks", opts.Grid, size)
@@ -179,12 +296,9 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 	var wg sync.WaitGroup
 	var abortOnce sync.Once
 	abort := func() {
-		abortOnce.Do(func() {
-			for _, b := range c.boxes {
-				b.close()
-			}
-		})
+		abortOnce.Do(c.closeAll)
 	}
+	var killedMu sync.Mutex
 
 	start := time.Now()
 	for id := 0; id < size; id++ {
@@ -202,12 +316,24 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 			}
 			defer func() {
 				if p := recover(); p != nil {
-					if p == errAborted {
-						errs[id] = fmt.Errorf("comm: rank %d aborted: %w", id, errAborted)
-					} else {
+					switch v := p.(type) {
+					case killPanic:
+						// An injected crash, not a failure: record the
+						// death and let the survivors run on.
+						killedMu.Lock()
+						stats.Killed = append(stats.Killed, v.world)
+						killedMu.Unlock()
+					case error:
+						if p == errAborted {
+							errs[id] = fmt.Errorf("comm: rank %d aborted: %w", id, errAborted)
+						} else {
+							errs[id] = fmt.Errorf("comm: rank %d panicked: %w", id, v)
+						}
+						abort()
+					default:
 						errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
+						abort()
 					}
-					abort()
 				}
 				r.prof.appWall = time.Since(start).Seconds()
 				stats.VirtualTimes[id] = r.clock.Now()
@@ -221,6 +347,8 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 	}
 	wg.Wait()
 	stats.Wall = time.Since(start).Seconds()
+	sort.Ints(stats.Killed)
+	stats.CRCDetected, stats.Retransmits = c.faultTotals()
 	// Report the root cause: a rank's own error or panic, not the
 	// secondary "aborted" unwinds it triggered in its peers.
 	var aborted error

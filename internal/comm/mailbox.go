@@ -16,6 +16,8 @@ type message struct {
 	data     []float64
 	ints     []int64
 	arrival  float64 // virtual arrival time under the network model
+	crc      uint32  // payload checksum, when framed
+	framed   bool    // message carries a CRC frame to verify on receive
 }
 
 func (m *message) bytes() int64 {
@@ -58,14 +60,30 @@ func (b *mailbox) put(m *message) {
 // blocking until one arrives. It panics with errAborted if the mailbox is
 // closed while waiting.
 func (b *mailbox) take(src, tag int) *message {
+	m, _ := b.takeDead(src, tag, nil)
+	return m
+}
+
+// takeDead is take with dead-rank awareness: when c is non-nil, src names
+// a specific rank, that rank is marked dead in c, and no matching message
+// remains queued, it returns a DeadRankError instead of blocking forever.
+// Queued pre-crash messages are always drained before the error fires, so
+// detection is deterministic: a waiter sees everything the peer sent
+// before dying, then the death. Wakeup is race-free because markDead sets
+// the dead flag before acquiring this mailbox's lock to broadcast (see
+// Comm.markDead).
+func (b *mailbox) takeDead(src, tag int, c *Comm) (*message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		if m := b.removeLocked(src, tag); m != nil {
-			return m
+			return m, nil
 		}
 		if b.closed {
 			panic(errAborted)
+		}
+		if c != nil && src != AnySource && c.rankDead(src) {
+			return nil, DeadRankError{Rank: src, World: c.worldIDOf(src)}
 		}
 		b.cond.Wait()
 	}
@@ -83,8 +101,10 @@ func (b *mailbox) tryTake(src, tag int) *message {
 }
 
 // peek blocks until a matching message is queued and returns it without
-// removing it (MPI_Probe).
-func (b *mailbox) peek(src, tag int) *message {
+// removing it (MPI_Probe). Like takeDead it refuses to wait forever on a
+// dead peer, but since Probe has no error return the death unwinds as a
+// panicked DeadRankError.
+func (b *mailbox) peek(src, tag int, c *Comm) *message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -95,6 +115,9 @@ func (b *mailbox) peek(src, tag int) *message {
 		}
 		if b.closed {
 			panic(errAborted)
+		}
+		if c != nil && src != AnySource && c.rankDead(src) {
+			panic(DeadRankError{Rank: src, World: c.worldIDOf(src)})
 		}
 		b.cond.Wait()
 	}
@@ -114,5 +137,15 @@ func (b *mailbox) close() {
 	b.mu.Lock()
 	b.closed = true
 	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// wake re-checks all blocked waiters. Taking the lock before broadcasting
+// is what makes the dead-rank wakeup race-free: any waiter between its
+// dead-flag check and cond.Wait still holds the lock, so the broadcast
+// cannot slip into that window.
+func (b *mailbox) wake() {
+	b.mu.Lock()
+	b.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 	b.cond.Broadcast()
 }

@@ -57,7 +57,7 @@ func TestMailboxTryTake(t *testing.T) {
 func TestMailboxPeekDoesNotConsume(t *testing.T) {
 	b := newMailbox()
 	b.put(&message{src: 5, tag: 9, data: []float64{1}})
-	if m := b.peek(5, 9); m == nil || m.data[0] != 1 {
+	if m := b.peek(5, 9, nil); m == nil || m.data[0] != 1 {
 		t.Fatal("peek failed")
 	}
 	if m := b.tryTake(5, 9); m == nil {

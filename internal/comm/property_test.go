@@ -1,0 +1,289 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Property-based checks for the collectives: randomized rank counts
+// (including non-powers-of-2, which exercise the fold/unfold phases of
+// recursive doubling and the remainder handling of Rabenseifner),
+// randomized payload sizes and randomized contents, all compared against
+// a trivial serial reference. Payload values are small integers stored
+// in float64s, so sums and products are exact regardless of the
+// reduction's association order.
+
+// randPayload fills integer-valued float64s in [-8, 8).
+func randPayload(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(16) - 8)
+	}
+	return out
+}
+
+func applyOp(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	}
+	panic("unknown op")
+}
+
+// gatherAll runs fn on every rank of a p-rank communicator and returns the
+// per-rank results.
+func gatherAll(t *testing.T, p int, fn func(r *Rank) []float64) [][]float64 {
+	t.Helper()
+	results := make([][]float64, p)
+	if _, err := RunSimple(p, func(r *Rank) error {
+		results[r.ID()] = fn(r)
+		return nil
+	}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return results
+}
+
+func TestPropertyAllreduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA11))
+	ops := []ReduceOp{OpSum, OpProd, OpMin, OpMax}
+	for trial := 0; trial < 30; trial++ {
+		p := 1 + rng.Intn(9)       // 1..9, covers non-powers-of-2
+		n := 1 + rng.Intn(64)      // element count
+		op := ops[rng.Intn(len(ops))]
+		inputs := make([][]float64, p)
+		for i := range inputs {
+			inputs[i] = randPayload(rng, n)
+		}
+		// Serial reference.
+		want := append([]float64(nil), inputs[0]...)
+		for i := 1; i < p; i++ {
+			for j := range want {
+				want[j] = applyOp(op, want[j], inputs[i][j])
+			}
+		}
+		results := gatherAll(t, p, func(r *Rank) []float64 {
+			return r.Allreduce(op, append([]float64(nil), inputs[r.ID()]...))
+		})
+		for id, got := range results {
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d (p=%d n=%d op=%d): rank %d element %d = %v, want %v",
+						trial, p, n, op, id, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x6A7))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(32)
+		root := rng.Intn(p)
+		inputs := make([][]float64, p)
+		var want []float64
+		for i := range inputs {
+			inputs[i] = randPayload(rng, n)
+			want = append(want, inputs[i]...)
+		}
+		results := gatherAll(t, p, func(r *Rank) []float64 {
+			return r.Gather(root, inputs[r.ID()])
+		})
+		for id, got := range results {
+			if id != root {
+				if got != nil {
+					t.Fatalf("trial %d: non-root %d got non-nil gather result", trial, id)
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: root gathered %d values, want %d", trial, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d (p=%d n=%d root=%d): element %d = %v, want %v",
+						trial, p, n, root, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyAlltoallv(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA270))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(8)
+		// Randomized, possibly zero, per-destination counts.
+		counts := make([][]int, p) // counts[src][dst]
+		sends := make([][]float64, p)
+		for src := 0; src < p; src++ {
+			counts[src] = make([]int, p)
+			total := 0
+			for dst := 0; dst < p; dst++ {
+				counts[src][dst] = rng.Intn(5)
+				total += counts[src][dst]
+			}
+			sends[src] = randPayload(rng, total)
+		}
+		// Serial reference: receiver dst sees src's chunk for dst, in
+		// ascending src order.
+		want := make([][]float64, p)
+		wantCounts := make([][]int, p)
+		for dst := 0; dst < p; dst++ {
+			wantCounts[dst] = make([]int, p)
+			for src := 0; src < p; src++ {
+				off := 0
+				for d := 0; d < dst; d++ {
+					off += counts[src][d]
+				}
+				want[dst] = append(want[dst], sends[src][off:off+counts[src][dst]]...)
+				wantCounts[dst][src] = counts[src][dst]
+			}
+		}
+		gotCounts := make([][]int, p)
+		results := gatherAll(t, p, func(r *Rank) []float64 {
+			recv, rc := r.Alltoallv(sends[r.ID()], counts[r.ID()])
+			gotCounts[r.ID()] = rc
+			return recv
+		})
+		for id := 0; id < p; id++ {
+			if fmt.Sprint(gotCounts[id]) != fmt.Sprint(wantCounts[id]) {
+				t.Fatalf("trial %d (p=%d): rank %d recvCounts %v, want %v",
+					trial, p, id, gotCounts[id], wantCounts[id])
+			}
+			if fmt.Sprint(results[id]) != fmt.Sprint(want[id]) {
+				t.Fatalf("trial %d (p=%d): rank %d recv %v, want %v",
+					trial, p, id, results[id], want[id])
+			}
+		}
+	}
+}
+
+func TestPropertyBcastAllgather(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBCA5))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(9)
+		n := 1 + rng.Intn(32)
+		root := rng.Intn(p)
+		msg := randPayload(rng, n)
+		inputs := make([][]float64, p)
+		var flat []float64
+		for i := range inputs {
+			inputs[i] = randPayload(rng, n)
+			flat = append(flat, inputs[i]...)
+		}
+		type out struct{ bcast, allg []float64 }
+		outs := make([]out, p)
+		if _, err := RunSimple(p, func(r *Rank) error {
+			in := inputs[r.ID()]
+			if r.ID() == root {
+				in = msg
+			}
+			var b []float64
+			if r.ID() == root {
+				b = r.Bcast(root, append([]float64(nil), msg...))
+			} else {
+				b = r.Bcast(root, nil)
+			}
+			a := r.Allgather(append([]float64(nil), in...))
+			outs[r.ID()] = out{bcast: b, allg: a}
+			return nil
+		}); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		wantFlat := append([]float64(nil), flat...)
+		copy(wantFlat[root*n:], msg)
+		for id := 0; id < p; id++ {
+			if fmt.Sprint(outs[id].bcast) != fmt.Sprint(msg) {
+				t.Fatalf("trial %d (p=%d root=%d): rank %d bcast %v, want %v",
+					trial, p, root, id, outs[id].bcast, msg)
+			}
+			if fmt.Sprint(outs[id].allg) != fmt.Sprint(wantFlat) {
+				t.Fatalf("trial %d (p=%d): rank %d allgather %v, want %v",
+					trial, p, id, outs[id].allg, wantFlat)
+			}
+		}
+	}
+}
+
+// TestPropertyAllreduceMatchesUnderFaults: injected drop/corrupt/delay
+// faults change modeled time but never results — the same randomized
+// allreduces give identical answers with an aggressive fault plane
+// installed.
+func TestPropertyAllreduceMatchesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFA17))
+	for trial := 0; trial < 10; trial++ {
+		p := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(16)
+		inputs := make([][]float64, p)
+		for i := range inputs {
+			inputs[i] = randPayload(rng, n)
+		}
+		run := func(f FaultPlane) [][]float64 {
+			res := make([][]float64, p)
+			if _, err := Run(p, Options{Faults: f}, func(r *Rank) error {
+				res[r.ID()] = r.Allreduce(OpSum, append([]float64(nil), inputs[r.ID()]...))
+				return nil
+			}); err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			return res
+		}
+		clean := run(nil)
+		noisy := run(&everyNthFaults{n: 3})
+		for id := range clean {
+			for j := range clean[id] {
+				if math.Float64bits(clean[id][j]) != math.Float64bits(noisy[id][j]) {
+					t.Fatalf("trial %d: rank %d element %d differs under faults: %v vs %v",
+						trial, id, j, noisy[id][j], clean[id][j])
+				}
+			}
+		}
+	}
+}
+
+// everyNthFaults deterministically faults every n-th message it sees per
+// (src,dst) pair, cycling drop → corrupt → delay.
+type everyNthFaults struct {
+	mu  sync.Mutex
+	n   int
+	cnt map[[2]int]int
+}
+
+func (f *everyNthFaults) Message(src, dst, tag int, bytes int64, sendVT float64) FaultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cnt == nil {
+		f.cnt = make(map[[2]int]int)
+	}
+	k := [2]int{src, dst}
+	c := f.cnt[k]
+	f.cnt[k] = c + 1
+	if f.n <= 0 || c%f.n != f.n-1 {
+		return FaultAction{}
+	}
+	switch (c / f.n) % 3 {
+	case 0:
+		return FaultAction{Drop: true}
+	case 1:
+		if bytes > 0 {
+			return FaultAction{Corrupt: true, FlipBit: c * 13}
+		}
+		return FaultAction{Drop: true}
+	default:
+		return FaultAction{DelayVT: 2e-6}
+	}
+}
+
+func (f *everyNthFaults) CRCDetected(src, dst, tag int) {}

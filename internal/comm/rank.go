@@ -19,8 +19,28 @@ type Rank struct {
 // ID returns this rank's index in [0, Size).
 func (r *Rank) ID() int { return r.id }
 
+// WorldID returns this rank's index in the original (world) communicator.
+// It differs from ID only on ranks obtained from Shrink.
+func (r *Rank) WorldID() int { return r.comm.worldIDOf(r.id) }
+
+// WorldIDOf translates any member id of this rank's communicator to the
+// original (world) numbering.
+func (r *Rank) WorldIDOf(id int) int { return r.comm.worldIDOf(id) }
+
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.comm.size }
+
+// Kill marks this rank dead — in its current communicator and every
+// ancestor — wakes all blocked receivers so peers observe the death, and
+// unwinds the rank's goroutine. It never returns. Run records the death
+// in Stats.Killed and lets the surviving ranks finish; operations that
+// wait on the dead rank fail with DeadRankError (WaitErr) or a panicked
+// DeadRankError (the blocking calls) once its pre-crash messages are
+// drained.
+func (r *Rank) Kill() {
+	r.comm.markDead(r.id)
+	panic(killPanic{world: r.WorldID()})
+}
 
 // Clock exposes the rank's virtual clock, so applications can account
 // modeled compute time (e.g. from the hw instruction model) between
@@ -50,18 +70,59 @@ func (r *Rank) checkPeer(peer int) {
 // mailbox. It returns the payload byte count — not the message, which
 // belongs to the receiver the moment it is enqueued (the receiver may
 // consume and recycle it at any time).
+//
+// This is also where the fault plane intercepts the wire: a dropped or
+// corrupted first copy always ends in a clean delivery one retransmission
+// timeout later, so faults cost modeled time but can never lose data or
+// deadlock the run. Corruption relies on the non-overtaking mailbox order
+// per (source, tag): the damaged copy is enqueued before the clean one,
+// so the receiver's CRC check rejects it and the very next matching
+// message is the retransmission.
 func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
-	m := r.comm.getMessage()
+	c := r.comm
+	m := c.getMessage()
 	m.src, m.tag = r.id, tag
 	m.data = append(m.data[:0], data...)
 	m.ints = append(m.ints[:0], ints...)
 	nbytes := m.bytes()
-	hops := r.comm.hops(r.id, dst)
+	if c.crc {
+		m.crc = payloadCRC(m.data, m.ints)
+		m.framed = true
+	}
+	hops := c.hops(r.id, dst)
 	sendVT := r.clock.Now()
-	m.arrival = r.clock.SendStamp(int(nbytes), hops)
-	arrival := m.arrival
-	r.comm.boxes[dst].put(m)
-	r.comm.trace(r.id, dst, tag, nbytes, hops, sendVT, arrival, r.prof.site)
+	arrival := r.clock.SendStamp(int(nbytes), hops)
+	if c.faults != nil {
+		act := c.faults.Message(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, sendVT)
+		if act != (FaultAction{}) {
+			arrival += act.DelayVT
+			rto := act.RetransmitVT
+			if rto <= 0 {
+				rto = DefaultRetransmitVT
+			}
+			switch {
+			case act.Drop:
+				// The first copy is lost on the wire; the receiver only
+				// ever sees the retransmission, one timeout later.
+				arrival += rto
+				c.retransmits.Add(1)
+			case act.Corrupt && nbytes > 0:
+				bad := c.getMessage()
+				bad.src, bad.tag = r.id, tag
+				bad.data = append(bad.data[:0], m.data...)
+				bad.ints = append(bad.ints[:0], m.ints...)
+				bad.crc, bad.framed = m.crc, m.framed
+				flipPayloadBit(bad.data, bad.ints, act.FlipBit)
+				bad.arrival = arrival
+				c.boxes[dst].put(bad)
+				arrival += rto
+				c.retransmits.Add(1)
+			}
+		}
+	}
+	m.arrival = arrival
+	c.boxes[dst].put(m)
+	c.trace(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, hops, sendVT, arrival, r.prof.site)
 	return nbytes
 }
 
@@ -69,6 +130,48 @@ func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 // modeled arrival and the modeled wait is reported for profiling.
 func (r *Rank) receive(m *message) float64 {
 	return r.clock.WaitUntil(m.arrival)
+}
+
+// frameOK verifies a message's CRC frame. A failed check counts the
+// detection, notifies the fault plane, recycles the damaged frame and
+// reports false — the caller loops for the retransmission.
+func (r *Rank) frameOK(m *message) bool {
+	if !m.framed || payloadCRC(m.data, m.ints) == m.crc {
+		return true
+	}
+	c := r.comm
+	c.crcDetected.Add(1)
+	if c.faults != nil {
+		c.faults.CRCDetected(c.worldIDOf(m.src), c.worldIDOf(r.id), m.tag)
+	}
+	c.putMessage(m)
+	return false
+}
+
+// takeChecked blocks for a matching message whose CRC frame verifies,
+// discarding damaged frames (their retransmissions follow under the
+// non-overtaking order). Waiting on a specific dead sender returns a
+// DeadRankError once its queued messages are drained.
+func (r *Rank) takeChecked(src, tag int) (*message, error) {
+	for {
+		m, err := r.comm.boxes[r.id].takeDead(src, tag, r.comm)
+		if err != nil {
+			return nil, err
+		}
+		if r.frameOK(m) {
+			return m, nil
+		}
+	}
+}
+
+// mustTake is takeChecked for the blocking receive paths, which surface a
+// dead sender by unwinding with the typed error.
+func (r *Rank) mustTake(src, tag int) *message {
+	m, err := r.takeChecked(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Send sends a float64 payload to dst with the given tag. Sends are eager
@@ -133,7 +236,7 @@ func (r *Rank) recvCommon(op string, src, tag int) ([]float64, []int64, int) {
 		r.checkPeer(src)
 	}
 	start := time.Now()
-	m := r.comm.boxes[r.id].take(src, tag)
+	m := r.mustTake(src, tag)
 	wait := r.receive(m)
 	r.prof.record(op, time.Since(start).Seconds(), wait, m.bytes())
 	return m.data, m.ints, m.src
@@ -145,7 +248,7 @@ func (r *Rank) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []fl
 	r.checkPeer(dst)
 	start := time.Now()
 	nbytes := r.deliver(dst, sendTag, data, nil)
-	in := r.comm.boxes[r.id].take(src, recvTag)
+	in := r.mustTake(src, recvTag)
 	wait := r.receive(in)
 	r.prof.record("MPI_Sendrecv", time.Since(start).Seconds(), wait+r.comm.model.Alpha, nbytes+in.bytes())
 	return in.data
@@ -155,7 +258,7 @@ func (r *Rank) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []fl
 // returns its source, tag and payload byte count without receiving it.
 func (r *Rank) Probe(src, tag int) (fromSrc, fromTag int, bytes int64) {
 	start := time.Now()
-	m := r.comm.boxes[r.id].peek(src, tag)
+	m := r.comm.boxes[r.id].peek(src, tag, r.comm)
 	r.prof.record("MPI_Probe", time.Since(start).Seconds(), 0, 0)
 	return m.src, m.tag, m.bytes()
 }

@@ -56,9 +56,18 @@ func (r *Rank) IrecvInto(req *Request, src, tag int) {
 	*req = Request{rank: r, src: src, tag: tag}
 	// Eagerly match an already-queued message so Test/Wait on a
 	// satisfied receive is cheap and ordering mirrors posting order.
-	if m := r.comm.boxes[r.id].tryTake(src, tag); m != nil {
-		req.msg = m
-		req.done = true
+	// Damaged frames are consumed and discarded here just like in Wait;
+	// their retransmissions follow in order.
+	for {
+		m := r.comm.boxes[r.id].tryTake(src, tag)
+		if m == nil {
+			break
+		}
+		if r.frameOK(m) {
+			req.msg = m
+			req.done = true
+			break
+		}
 	}
 	r.prof.record("MPI_Irecv", time.Since(start).Seconds(), 0, 0)
 }
@@ -69,9 +78,16 @@ func (req *Request) Test() bool {
 	if req.done {
 		return true
 	}
-	if m := req.rank.comm.boxes[req.rank.id].tryTake(req.src, req.tag); m != nil {
-		req.msg = m
-		req.done = true
+	for {
+		m := req.rank.comm.boxes[req.rank.id].tryTake(req.src, req.tag)
+		if m == nil {
+			break
+		}
+		if req.rank.frameOK(m) {
+			req.msg = m
+			req.done = true
+			break
+		}
 	}
 	return req.done
 }
@@ -79,12 +95,32 @@ func (req *Request) Test() bool {
 // Wait blocks until the request completes and returns the received
 // payloads (nil for send requests). The modeled wait time — how long the
 // message was still in flight under the network model — is charged to
-// MPI_Wait, reproducing the paper's synchronization accounting.
+// MPI_Wait, reproducing the paper's synchronization accounting. If the
+// awaited sender has been killed, Wait unwinds with a panicked
+// DeadRankError; callers that must survive peer death use WaitErr.
 func (req *Request) Wait() ([]float64, []int64) {
+	data, ints, err := req.WaitErr()
+	if err != nil {
+		panic(err)
+	}
+	return data, ints
+}
+
+// WaitErr is Wait returning a typed error instead of deadlocking (or
+// unwinding) when the awaited sender died: once the dead rank's queued
+// messages are drained, a receive matching it specifically fails with a
+// DeadRankError. This is the primitive heartbeat-based failure detection
+// is built on.
+func (req *Request) WaitErr() ([]float64, []int64, error) {
 	r := req.rank
 	start := time.Now()
 	if !req.done {
-		req.msg = r.comm.boxes[r.id].take(req.src, req.tag)
+		m, err := r.takeChecked(req.src, req.tag)
+		if err != nil {
+			r.prof.record("MPI_Wait", time.Since(start).Seconds(), 0, 0)
+			return nil, nil, err
+		}
+		req.msg = m
 		req.done = true
 	}
 	var wait float64
@@ -95,9 +131,9 @@ func (req *Request) Wait() ([]float64, []int64) {
 	}
 	r.prof.record("MPI_Wait", time.Since(start).Seconds(), wait, bytes)
 	if req.msg == nil {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return req.msg.data, req.msg.ints
+	return req.msg.data, req.msg.ints, nil
 }
 
 // Source returns the sender of a completed receive request (meaningful

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/loadbal"
+	"repro/internal/mesh"
+)
+
+// Rehome rebuilds an ownership map after ranks died: surviving ranks are
+// renumbered densely (survivors[i] becomes rank i, matching the shrunken
+// communicator's numbering) and keep their elements; the dead ranks'
+// orphaned elements are re-homed one at a time, in Morton (space-filling
+// curve) order, each to the currently least-loaded survivor — the same
+// locality-preserving curve the load balancer partitions along, so
+// recovered partitions keep surface-to-volume locality. The result is a
+// pure function of (old, survivors): every survivor computes it
+// independently and identically, which the recovery protocol verifies
+// with a checksum allreduce before restoring.
+//
+// survivors lists the living ranks in old's numbering, strictly
+// ascending.
+func Rehome(old *mesh.Ownership, survivors []int) (*mesh.Ownership, error) {
+	box := old.Box()
+	if len(survivors) < 1 {
+		return nil, fmt.Errorf("fault: rehome with no survivors")
+	}
+	dense := make(map[int]int, len(survivors))
+	for i, s := range survivors {
+		if s < 0 || s >= box.Ranks() {
+			return nil, fmt.Errorf("fault: survivor %d outside [0,%d)", s, box.Ranks())
+		}
+		if i > 0 && s <= survivors[i-1] {
+			return nil, fmt.Errorf("fault: survivors must be strictly ascending, got %v", survivors)
+		}
+		dense[s] = i
+	}
+
+	// Survivors keep their elements under the dense renumbering; cost is
+	// tracked by element count (recovery has no fresher signal — measured
+	// per-element costs died with the checkpoint boundary).
+	total := box.TotalElems()
+	owner := make([]int, total)
+	load := make([]int, len(survivors))
+	orphaned := false
+	for gid := 0; gid < total; gid++ {
+		r := old.Owner(int64(gid))
+		if d, ok := dense[r]; ok {
+			owner[gid] = d
+			load[d]++
+		} else {
+			owner[gid] = -1
+			orphaned = true
+		}
+	}
+	if orphaned {
+		for _, gid := range loadbal.MortonOrder(box) {
+			if owner[gid] != -1 {
+				continue
+			}
+			best := 0
+			for d := 1; d < len(load); d++ {
+				if load[d] < load[best] {
+					best = d
+				}
+			}
+			owner[gid] = best
+			load[best]++
+		}
+	}
+	return mesh.NewOwnership(box, owner)
+}

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func rehomeBox(t *testing.T) *mesh.Box {
+	t.Helper()
+	b, err := mesh.NewBox([3]int{2, 2, 1}, [3]int{4, 4, 2}, 5, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRehomeSurvivorsKeepElements(t *testing.T) {
+	box := rehomeBox(t)
+	old := box.UniformOwnership()
+	survivors := []int{0, 1, 3}
+	newOwn, err := Rehome(old, survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors keep every element they had, under dense renumbering.
+	for dense, s := range survivors {
+		for _, gid := range old.Elements(s) {
+			if got := newOwn.Owner(gid); got != dense {
+				t.Fatalf("element %d moved off survivor %d (dense %d) to %d", gid, s, dense, got)
+			}
+		}
+	}
+	// Full coverage, only dense ranks, balanced orphan distribution:
+	// 32 elements on 3 ranks must land 11/11/10.
+	counts := make([]int, len(survivors))
+	total := box.TotalElems()
+	for gid := 0; gid < total; gid++ {
+		o := newOwn.Owner(int64(gid))
+		if o < 0 || o >= len(survivors) {
+			t.Fatalf("element %d owned by %d, outside dense range", gid, o)
+		}
+		counts[o]++
+	}
+	if counts[0] != 11 || counts[1] != 11 || counts[2] != 10 {
+		t.Fatalf("orphans distributed %v, want [11 11 10]", counts)
+	}
+}
+
+func TestRehomeDeterministic(t *testing.T) {
+	box := rehomeBox(t)
+	old := box.UniformOwnership()
+	a, err := Rehome(old, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rehome(old, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("Rehome is not a pure function of its inputs")
+	}
+}
+
+func TestRehomeSingleSurvivor(t *testing.T) {
+	box := rehomeBox(t)
+	newOwn, err := Rehome(box.UniformOwnership(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newOwn.Count(0) != box.TotalElems() {
+		t.Fatalf("single survivor owns %d of %d elements", newOwn.Count(0), box.TotalElems())
+	}
+}
+
+func TestRehomeRejects(t *testing.T) {
+	box := rehomeBox(t)
+	old := box.UniformOwnership()
+	if _, err := Rehome(old, nil); err == nil {
+		t.Error("no survivors accepted")
+	}
+	if _, err := Rehome(old, []int{0, 4}); err == nil {
+		t.Error("out-of-range survivor accepted")
+	}
+	if _, err := Rehome(old, []int{2, 1}); err == nil {
+		t.Error("descending survivor list accepted")
+	}
+	if _, err := Rehome(old, []int{1, 1}); err == nil {
+		t.Error("duplicate survivor accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Byte-level wire form of an Ownership map: enough mesh identity to
+// validate a decode, then one int32 owner per element. The recovery
+// protocol checksums this encoding and allreduces the checksum so every
+// survivor proves it re-homed the dead rank's elements identically before
+// restoring; it is also the fuzz surface for ownership decoding.
+//
+// Layout (little endian):
+//
+//	uint32 magic "OWNR"    uint32 version
+//	int32  procGrid[3]     int32 elemGrid[3]     int32 N
+//	uint8  periodic[3]     uint8 pad
+//	int32  owner[totalElems]
+const (
+	ownershipWireMagic   uint32 = 0x4f574e52 // "OWNR"
+	ownershipWireVersion uint32 = 1
+	ownershipWireHeader         = 4 + 4 + 12 + 12 + 4 + 4
+)
+
+// WireBytes serializes the ownership map for cross-rank comparison and
+// transport.
+func (o *Ownership) WireBytes() []byte {
+	b := o.box
+	out := make([]byte, 0, ownershipWireHeader+4*len(o.owner))
+	out = binary.LittleEndian.AppendUint32(out, ownershipWireMagic)
+	out = binary.LittleEndian.AppendUint32(out, ownershipWireVersion)
+	for d := 0; d < 3; d++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.ProcGrid[d]))
+	}
+	for d := 0; d < 3; d++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.ElemGrid[d]))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.N))
+	for d := 0; d < 3; d++ {
+		p := byte(0)
+		if b.Periodic[d] {
+			p = 1
+		}
+		out = append(out, p)
+	}
+	out = append(out, 0)
+	for _, r := range o.owner {
+		out = binary.LittleEndian.AppendUint32(out, uint32(r))
+	}
+	return out
+}
+
+// DecodeOwnershipWire rebuilds an Ownership from WireBytes output. The
+// encoding must describe exactly the given box; arbitrary bytes error
+// cleanly (the expected size is derived from the trusted box before any
+// element data is touched, so a forged header cannot force a large
+// allocation).
+func DecodeOwnershipWire(b *Box, data []byte) (*Ownership, error) {
+	total := b.TotalElems()
+	want := ownershipWireHeader + 4*total
+	if len(data) != want {
+		return nil, fmt.Errorf("mesh: ownership wire is %d bytes, box needs %d", len(data), want)
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:]); magic != ownershipWireMagic {
+		return nil, fmt.Errorf("mesh: bad ownership wire magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != ownershipWireVersion {
+		return nil, fmt.Errorf("mesh: unsupported ownership wire version %d", v)
+	}
+	off := 8
+	for d := 0; d < 3; d++ {
+		if g := int(int32(binary.LittleEndian.Uint32(data[off+4*d:]))); g != b.ProcGrid[d] {
+			return nil, fmt.Errorf("mesh: ownership wire proc grid differs from box in dim %d: %d vs %d", d, g, b.ProcGrid[d])
+		}
+	}
+	off += 12
+	for d := 0; d < 3; d++ {
+		if g := int(int32(binary.LittleEndian.Uint32(data[off+4*d:]))); g != b.ElemGrid[d] {
+			return nil, fmt.Errorf("mesh: ownership wire elem grid differs from box in dim %d: %d vs %d", d, g, b.ElemGrid[d])
+		}
+	}
+	off += 12
+	if n := int(int32(binary.LittleEndian.Uint32(data[off:]))); n != b.N {
+		return nil, fmt.Errorf("mesh: ownership wire N=%d, box N=%d", n, b.N)
+	}
+	off += 4
+	for d := 0; d < 3; d++ {
+		switch p := data[off+d]; {
+		case p > 1:
+			return nil, fmt.Errorf("mesh: ownership wire periodic flag %d invalid", p)
+		case (p == 1) != b.Periodic[d]:
+			return nil, fmt.Errorf("mesh: ownership wire periodicity differs from box in dim %d", d)
+		}
+	}
+	if data[off+3] != 0 {
+		return nil, fmt.Errorf("mesh: ownership wire padding not zero")
+	}
+	off += 4
+	owner := make([]int, total)
+	for i := range owner {
+		owner[i] = int(int32(binary.LittleEndian.Uint32(data[off+4*i:])))
+	}
+	return NewOwnership(b, owner)
+}

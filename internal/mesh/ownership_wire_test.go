@@ -1,0 +1,89 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+func wireTestBox(t testing.TB) *Box {
+	t.Helper()
+	b, err := NewBox([3]int{2, 2, 1}, [3]int{4, 4, 2}, 5, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestOwnershipWireRoundTrip(t *testing.T) {
+	box := wireTestBox(t)
+	// Non-uniform ownership so the owner table carries real structure.
+	total := box.TotalElems()
+	owner := make([]int, total)
+	for gid := 0; gid < total; gid++ {
+		owner[gid] = (gid * 7) % box.Ranks()
+	}
+	own, err := NewOwnership(box, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := own.WireBytes()
+	back, err := DecodeOwnershipWire(box, data)
+	if err != nil {
+		t.Fatalf("decoding own encoding: %v", err)
+	}
+	if !own.Equal(back) {
+		t.Fatal("wire round trip changed the ownership")
+	}
+	// Re-encode determinism: byte-identical.
+	if !bytes.Equal(data, back.WireBytes()) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+func TestOwnershipWireRejectsMismatchedBox(t *testing.T) {
+	box := wireTestBox(t)
+	data := box.UniformOwnership().WireBytes()
+	other, err := NewBox([3]int{2, 2, 1}, [3]int{4, 4, 4}, 5, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOwnershipWire(other, data); err == nil {
+		t.Fatal("decode against a different box accepted")
+	}
+}
+
+// FuzzDecodeOwnershipWire throws arbitrary bytes at the wire decoder:
+// it must either error cleanly or return an ownership that passes
+// NewOwnership validation — never panic, never OOM (the length is
+// checked against the trusted box before any allocation).
+func FuzzDecodeOwnershipWire(f *testing.F) {
+	box, err := NewBox([3]int{2, 1, 1}, [3]int{2, 2, 2}, 4, [3]bool{true, true, true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := box.UniformOwnership().WireBytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)-1])
+	for _, bit := range []int{0, 77, 200} {
+		flipped := append([]byte(nil), valid...)
+		flipped[bit/8%len(flipped)] ^= 1 << (bit % 8)
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		own, err := DecodeOwnershipWire(box, data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		total := box.TotalElems()
+		covered := 0
+		for r := 0; r < box.Ranks(); r++ {
+			covered += own.Count(r)
+		}
+		if covered != total {
+			t.Fatalf("accepted ownership covers %d of %d elements", covered, total)
+		}
+	})
+}

@@ -229,6 +229,52 @@ func TestStepStreamIncomplete(t *testing.T) {
 	}
 }
 
+// TestStepStreamRollback models a fault recovery: 3 ranks report steps
+// 0-1, rank 2 dies during step 2 (two survivors report it), and the
+// collector is rolled back to the checkpoint step 1 with 2 live ranks.
+// The replayed steps must seal at the reduced rank count, the partial
+// pre-crash step 2 record must be discarded, and Flush must succeed
+// with the replayed steps appearing after the originals.
+func TestStepStreamRollback(t *testing.T) {
+	var buf bytes.Buffer
+	coll := NewStepCollector(&buf, 3, nil)
+	for step := 0; step < 2; step++ {
+		for rank := 0; rank < 3; rank++ {
+			coll.Report(step, float64(step), 0.1, "pairwise", RankStep{Rank: rank}, nil)
+		}
+	}
+	// Step 2 is partial: rank 2 crashed before reporting.
+	coll.Report(2, 2, 0.1, "pairwise", RankStep{Rank: 0}, nil)
+	coll.Report(2, 2, 0.1, "pairwise", RankStep{Rank: 1}, nil)
+
+	coll.Rollback(1, 2)
+	// Survivors replay from the checkpoint step.
+	for step := 1; step < 3; step++ {
+		for rank := 0; rank < 2; rank++ {
+			coll.Report(step, float64(step), 0.1, "pairwise", RankStep{Rank: rank}, nil)
+		}
+	}
+	n, err := coll.Flush()
+	if err != nil {
+		t.Fatalf("Flush after rollback: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("flushed %d records, want 4 (steps 0,1 then replayed 1,2)", n)
+	}
+	recs, err := ReadSteps(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := []int{0, 1, 1, 2}
+	wantRanks := []int{3, 3, 2, 2}
+	for i, rec := range recs {
+		if rec.Step != wantSteps[i] || len(rec.Ranks) != wantRanks[i] {
+			t.Fatalf("record %d = step %d with %d ranks, want step %d with %d ranks",
+				i, rec.Step, len(rec.Ranks), wantSteps[i], wantRanks[i])
+		}
+	}
+}
+
 // TestRegistrySnapshotJSON checks the snapshot (histograms included)
 // survives json.Marshal — the expvar and step-record serialization path.
 // The +Inf overflow bound must not break encoding.

@@ -118,6 +118,32 @@ func (c *StepCollector) Report(step int, t, dt float64, gsName string, rs RankSt
 	}
 }
 
+// Rollback rewinds the collector to a checkpoint step after a fault
+// recovery: partially assembled records at or beyond step are
+// discarded (their pre-crash reports are superseded by the replay) and
+// subsequent records seal once live ranks have reported. Replayed
+// steps appear in the stream a second time; the last occurrence of a
+// step number is the authoritative one. The caller must ensure the
+// call happens before any survivor reports a replayed step — inside
+// the recovery protocol's consensus collective, any single rank's call
+// placed before that collective satisfies this.
+func (c *StepCollector) Rollback(step, live int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.size = live
+	for s := range c.pending {
+		if s >= step {
+			delete(c.pending, s)
+		}
+	}
+	if step < c.next {
+		c.next = step
+	}
+}
+
 // Flush writes out buffered records and returns the first write or
 // marshal error, plus how many records were sealed. Call it after the
 // run completes.

@@ -202,8 +202,21 @@ func (c *Config) Validate(p int) error {
 	if c.N < 2 {
 		return fmt.Errorf("solver: N must be >= 2, got %d", c.N)
 	}
-	if c.ProcGrid[0]*c.ProcGrid[1]*c.ProcGrid[2] != p {
-		return fmt.Errorf("solver: proc grid %v does not tile %d ranks", c.ProcGrid, p)
+	if prod := c.ProcGrid[0] * c.ProcGrid[1] * c.ProcGrid[2]; prod != p {
+		// After a rank failure the survivors rebuild the solver on a
+		// shrunken communicator while keeping the original box (and so
+		// the original ProcGrid, which checkpoint metadata is validated
+		// against). That is consistent exactly when the ownership map
+		// leaves every rank outside the communicator empty.
+		if c.Ownership == nil || prod < p {
+			return fmt.Errorf("solver: proc grid %v does not tile %d ranks", c.ProcGrid, p)
+		}
+		for q := p; q < prod; q++ {
+			if c.Ownership.Count(q) > 0 {
+				return fmt.Errorf("solver: proc grid %v does not tile %d ranks (rank %d outside the communicator owns %d elements)",
+					c.ProcGrid, p, q, c.Ownership.Count(q))
+			}
+		}
 	}
 	for d := 0; d < 3; d++ {
 		if c.ElemGrid[d]%c.ProcGrid[d] != 0 {

@@ -131,7 +131,7 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		Ref:   ref,
 		Prof:  prof.New(),
 		rx:    2, // reference element [-1,1] onto unit cube
-		rt:    cfg.Obs.Rank(r.ID(), r.Clock()),
+		rt:    cfg.Obs.Rank(r.WorldID(), r.Clock()),
 		ow:    cfg.Ownership,
 	}
 	vol := local.Nel * cfg.N * cfg.N * cfg.N

@@ -152,7 +152,7 @@ func (s *Solver) stepTelemetry(step int, dt float64) {
 		compute = 0
 	}
 	s.Cfg.Steps.Report(step, s.simTime, dt, s.gsh.Method().String(), obs.RankStep{
-		Rank:    s.Rank.ID(),
+		Rank:    s.Rank.WorldID(),
 		VT:      vt,
 		Compute: compute,
 		Wait:    tot.Wait - s.prevSplit.Wait,
@@ -202,15 +202,7 @@ func (s *Solver) RunAdaptive(steps int, ctl *DtController) (Report, []float64) {
 		s.stepTelemetry(i, dt)
 		hist = append(hist, dt)
 	}
-	s.Prof.Finish()
-	return Report{
-		Steps:     steps,
-		Dt:        dt,
-		Mass:      s.TotalMass(),
-		Energy:    s.Integrate(IEnergy),
-		WaveSpeed: s.lambda,
-		Ops:       s.Ops,
-	}, hist
+	return s.FinishReport(steps, dt), hist
 }
 
 // Report summarizes a Run.
@@ -237,13 +229,29 @@ func (s *Solver) Run(steps int) Report {
 func (s *Solver) RunWith(steps int, after func(step int)) Report {
 	var dt float64
 	for i := 0; i < steps; i++ {
-		dt = s.StableDt()
-		s.Step(dt)
-		s.stepTelemetry(i, dt)
+		dt = s.AdvanceStep(i)
 		if after != nil {
 			after(i)
 		}
 	}
+	return s.FinishReport(steps, dt)
+}
+
+// AdvanceStep runs one full timestep — the stable-dt reduction, the
+// SSP-RK3 step, and step telemetry — and returns the dt used. Collective.
+// External step drivers (e.g. the fault runner, whose loop interleaves
+// heartbeats, auto-checkpoints and recovery between steps) use this
+// instead of Run and finish with FinishReport.
+func (s *Solver) AdvanceStep(step int) float64 {
+	dt := s.StableDt()
+	s.Step(dt)
+	s.stepTelemetry(step, dt)
+	return dt
+}
+
+// FinishReport closes the profiler and summarizes the run — the shared
+// tail of Run/RunWith and of external step drivers.
+func (s *Solver) FinishReport(steps int, dt float64) Report {
 	s.Prof.Finish()
 	return Report{
 		Steps:     steps,
@@ -254,3 +262,10 @@ func (s *Solver) RunWith(steps int, after func(step int)) Report {
 		Ops:       s.Ops,
 	}
 }
+
+// SimTime returns the accumulated simulated time.
+func (s *Solver) SimTime() float64 { return s.simTime }
+
+// SetSimTime overwrites the accumulated simulated time (checkpoint
+// restore onto a freshly built solver).
+func (s *Solver) SetSimTime(t float64) { s.simTime = t }
