@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-sweep bench-workers bench-loadbal
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap
 
 all: check
 
@@ -19,7 +19,7 @@ test:
 # rank-level concurrency) additionally run under the race detector.
 race:
 	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/pool/... ./internal/gs/... ./internal/sem/...
-	$(GO) test -race -run 'TestWorkers|TestStraggler' ./internal/solver/...
+	$(GO) test -race -run 'TestWorkers|TestStraggler|TestOverlap' ./internal/solver/...
 	$(GO) test -race ./internal/loadbal/... ./internal/fault/...
 
 # Fixed-seed chaos suite under the race detector: crash/recovery across 5
@@ -43,7 +43,12 @@ fuzz-smoke:
 bench-sweep:
 	$(GO) test -run xxx -bench 'WorkerSweep|GSAlloc' -benchmem -benchtime 20x . ./internal/gs/
 
-check: vet build test race chaos bench-sweep
+# One-iteration pass over every benchmark in the repo: catches compile
+# errors and panics in bench harnesses without timing anything.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+check: vet build test race chaos bench-sweep bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -57,3 +62,9 @@ bench-workers:
 # makespans on the one-hot-rank scenario.
 bench-loadbal:
 	$(GO) run ./cmd/scalebench -n 5 -maxranks 8 -loadbal -loadbal-json BENCH_loadbal_baseline.json
+
+# Regenerate the compute/communication overlap baseline
+# (BENCH_overlap_baseline.json): blocking vs split-phase exchange
+# makespans on a communication-bound (GigE) configuration.
+bench-overlap:
+	$(GO) run ./cmd/scalebench -n 5 -maxranks 8 -net gige -overlap -overlap-json BENCH_overlap_baseline.json

@@ -52,6 +52,7 @@ func main() {
 	variantName := flag.String("variant", "both", "kernel variant: optimized, basic, or both")
 	machineName := flag.String("machine", hw.Opteron6378.Name, "hw model machine: opteron-6378, i5-2500, generic")
 	sweep := flag.Bool("sweep", false, "sweep N over the paper's 5..25 range (constant total points) instead of one N")
+	mxm := flag.Bool("mxm", false, "benchmark the mxm variants across the small-k range (incl. the hand-specialized kernels)")
 	workers := flag.Int("workers", 1, "intra-rank worker pool width for the element loop (0 = NumCPU)")
 	workerSweep := flag.Bool("workersweep", false, "sweep the worker count 1,2,4..NumCPU on the derivative kernel")
 	jsonPath := flag.String("json", "", "write the worker-sweep records to this JSON file")
@@ -78,6 +79,10 @@ func main() {
 		log.Fatalf("-variant: want optimized, basic, or both, got %q", *variantName)
 	}
 
+	if *mxm {
+		runMxM(*nel, *steps)
+		return
+	}
 	if *workerSweep {
 		runWorkerSweep(variants[0], *n, *nel, *steps, *jsonPath)
 		return
@@ -240,6 +245,47 @@ func runSweep(machine hw.Machine, variants []sem.KernelVariant, steps int) {
 				gflops := float64(ops.Flops()) / wall / 1e9
 				fmt.Printf(" %14.2f", gflops)
 			}
+		}
+		fmt.Println()
+	}
+}
+
+// runMxM benchmarks every MxM variant across the small-k range the
+// spectral-element kernels produce (k = N is the 1D operator size), in
+// the derivative kernel's dominant shape m = N^2, n = N. k in [4, 10]
+// exercises the hand-specialized fully-unrolled kernels (Nek5000's mxm44
+// family); k above that falls back to the fused+unrolled generic, so the
+// table shows exactly what the specialization buys.
+func runMxM(nel, steps int) {
+	fmt.Printf("Small-matrix mxm sweep: shape (N*N x N) x (N x N), %d elements, %d steps\n\n", nel, steps)
+	fmt.Printf("%4s", "N")
+	for _, v := range sem.MxMVariants {
+		fmt.Printf(" %14s", v)
+	}
+	fmt.Println("  (Gflop/s)")
+	for _, k := range []int{4, 5, 6, 7, 8, 9, 10, 12} {
+		m, n := k*k, k
+		rng := rand.New(rand.NewSource(1))
+		a := make([]float64, m*k)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		b := make([]float64, k*n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		c := make([]float64, m*n)
+		fmt.Printf("%4d", k)
+		for _, v := range sem.MxMVariants {
+			start := time.Now()
+			var ops sem.OpCount
+			for s := 0; s < steps; s++ {
+				for e := 0; e < nel; e++ {
+					ops = ops.Plus(sem.MxM(v, a, m, b, k, c, n))
+				}
+			}
+			wall := time.Since(start).Seconds()
+			fmt.Printf(" %14.2f", float64(ops.Flops())/wall/1e9)
 		}
 		fmt.Println()
 	}

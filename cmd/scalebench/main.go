@@ -50,6 +50,8 @@ func main() {
 	lbThreshold := flag.Float64("imbalance-threshold", 1.2, "rank cost imbalance triggering a rebalance in the loadbal scenario")
 	lbEvery := flag.Int("rebalance-every", 2, "steps between load-balance epochs in the loadbal scenario")
 	lbJSON := flag.String("loadbal-json", "", "write the loadbal scenario results as JSON to this file")
+	useOverlap := flag.Bool("overlap", false, "append the compute/communication overlap study (blocking vs split-phase exchange)")
+	overlapJSON := flag.String("overlap-json", "", "write the overlap study results as JSON to this file")
 	cli.Parse()
 	workers = *workersFlag
 
@@ -132,6 +134,113 @@ func main() {
 
 	if *useLB {
 		loadbalStudy(*n, model, loadbal.Config{Threshold: *lbThreshold, Every: *lbEvery}, *lbJSON)
+	}
+	if *useOverlap {
+		overlapStudy(*n, model, *overlapJSON)
+	}
+}
+
+// ovScenario is one row of the overlap study and one entry of its JSON
+// artifact.
+type ovScenario struct {
+	Scenario string  `json:"scenario"`
+	Ranks    int     `json:"ranks"`
+	Makespan float64 `json:"makespan_s"`
+	MPIFrac  float64 `json:"mpi_frac"`
+	// HiddenSeconds is the modeled exchange time that completed behind
+	// interior compute, summed over ranks (overlap rows only).
+	HiddenSeconds float64 `json:"hidden_seconds,omitempty"`
+	// InteriorElems / BoundaryElems describe rank 0's element split.
+	InteriorElems int `json:"interior_elems,omitempty"`
+	BoundaryElems int `json:"boundary_elems,omitempty"`
+	// ReductionVsBlocking is this row's modeled makespan reduction
+	// against the blocking-exchange run.
+	ReductionVsBlocking float64 `json:"reduction_vs_blocking"`
+}
+
+// overlapStudy measures the split-phase exchange against the blocking
+// baseline on a communication-bound configuration: enough local elements
+// that every rank holds an interior set, under the selected network
+// model. The overlap row's makespan reduction is the optimization's win;
+// results are bit-identical by construction (the solver's overlap tests
+// pin that), so this is purely a modeled-time measurement.
+func overlapStudy(nGLL int, model netmodel.Model, jsonPath string) {
+	const np, localElems, steps = 8, 3, 8
+
+	run := func(overlap bool) ovScenario {
+		cfg := solver.DefaultConfig(np, nGLL, localElems)
+		cfg.Overlap = overlap
+		cfg.Workers = workers
+		if cfg.Workers == 0 {
+			cfg.Workers = pool.DefaultWorkers(np)
+		}
+		interior := 0
+		stats, err := comm.Run(np, cfg.CommOptions(model), func(r *comm.Rank) error {
+			s, err := solver.New(r, cfg)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			if r.ID() == 0 {
+				interior = s.InteriorElems()
+			}
+			s.SetInitial(solver.GaussianPulse(
+				float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+				0.1, 0.5))
+			s.Run(steps)
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("overlap study: %v", err)
+		}
+		mpi := 0.0
+		for _, f := range stats.RankMPIFractions() {
+			mpi += f.FracModeled()
+		}
+		out := ovScenario{Ranks: np, Makespan: stats.MaxVirtualTime(), MPIFrac: mpi / np}
+		if overlap {
+			out.HiddenSeconds = stats.TotalOverlapHidden()
+			out.InteriorElems = interior
+			out.BoundaryElems = localElems*localElems*localElems - interior
+		}
+		return out
+	}
+
+	blocking := run(false)
+	blocking.Scenario = "blocking"
+	split := run(true)
+	split.Scenario = "overlap"
+	scenarios := []ovScenario{blocking, split}
+	for i := range scenarios {
+		scenarios[i].ReductionVsBlocking = 1 - scenarios[i].Makespan/blocking.Makespan
+	}
+
+	fmt.Printf("\noverlap scenario (%d ranks, %d^3 elements/rank, N=%d, %d steps, network %s):\n\n",
+		np, localElems, nGLL, steps, model.Name)
+	fmt.Printf("%-10s %7s %15s %9s %13s %14s %12s\n",
+		"scenario", "ranks", "makespan (s)", "MPI %", "hidden (s)", "interior/bnd", "vs blocking")
+	for _, s := range scenarios {
+		fmt.Printf("%-10s %7d %15.6f %8.2f%% %13.6f %8d/%-5d %11.1f%%\n",
+			s.Scenario, s.Ranks, s.Makespan, 100*s.MPIFrac, s.HiddenSeconds,
+			s.InteriorElems, s.BoundaryElems, 100*s.ReductionVsBlocking)
+	}
+
+	if jsonPath != "" {
+		doc := struct {
+			N          int          `json:"n"`
+			LocalElems int          `json:"local_elems_per_dir"`
+			Steps      int          `json:"steps"`
+			Net        string       `json:"net"`
+			Scenarios  []ovScenario `json:"scenarios"`
+		}{nGLL, localElems, steps, model.Name, scenarios}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("-overlap-json: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("-overlap-json: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
 }
 

@@ -120,6 +120,11 @@ func (c *Comm) putMessage(m *message) {
 	c.msgPool.Put(m)
 }
 
+// directEligible reports whether the posted-receive direct-delivery fast
+// path may be used: CRC framing and the fault plane both need the staged
+// message envelope (to verify or re-send frames), so either disables it.
+func (c *Comm) directEligible() bool { return !c.crc && c.faults == nil }
+
 // rankDead reports whether member id of this communicator was killed.
 func (c *Comm) rankDead(id int) bool { return c.dead[id].Load() }
 
@@ -232,6 +237,11 @@ type Stats struct {
 	VirtualTimes []float64  // final netmodel clock per rank
 	Profiles     []*Profile // per-rank MPI profiles, indexed by rank
 
+	// OverlapHidden is the modeled communication time each rank hid
+	// behind compute via split-phase exchanges (see
+	// netmodel.Clock.AccountOverlap). Zero when overlap is not used.
+	OverlapHidden []float64
+
 	// Killed lists the world ranks that died via Rank.Kill, ascending.
 	// A killed rank does not abort the run; its survivors' results are
 	// still valid.
@@ -244,6 +254,16 @@ type Stats struct {
 	// Retransmits counts messages the fault plane dropped or corrupted,
 	// each of which cost one modeled retransmission timeout.
 	Retransmits int64
+}
+
+// TotalOverlapHidden sums the modeled communication seconds hidden
+// behind compute across all ranks.
+func (s *Stats) TotalOverlapHidden() float64 {
+	sum := 0.0
+	for _, h := range s.OverlapHidden {
+		sum += h
+	}
+	return sum
 }
 
 // MaxVirtualTime returns the slowest rank's modeled completion time, the
@@ -288,9 +308,10 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 	}
 
 	stats := &Stats{
-		Size:         size,
-		VirtualTimes: make([]float64, size),
-		Profiles:     make([]*Profile, size),
+		Size:          size,
+		VirtualTimes:  make([]float64, size),
+		Profiles:      make([]*Profile, size),
+		OverlapHidden: make([]float64, size),
 	}
 	errs := make([]error, size)
 	var wg sync.WaitGroup
@@ -337,6 +358,7 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 				}
 				r.prof.appWall = time.Since(start).Seconds()
 				stats.VirtualTimes[id] = r.clock.Now()
+				stats.OverlapHidden[id] = r.clock.OverlapHiddenSeconds()
 				stats.Profiles[id] = r.prof
 			}()
 			if err := fn(r); err != nil {

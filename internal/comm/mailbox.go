@@ -27,10 +27,21 @@ func (m *message) bytes() int64 {
 // mailbox is one rank's receive queue: an unbounded FIFO with MPI-style
 // (source, tag) matching. FIFO scan order gives the MPI non-overtaking
 // guarantee per (source, tag) pair.
+//
+// posted holds receive requests registered before any matching message
+// arrived (the direct-delivery fast path, enabled only without CRC
+// framing or a fault plane): a sender finding a matching posted request
+// copies the payload straight into request-owned buffers and completes
+// it, skipping the message envelope and the queue scan. Registration
+// (matchOrPost) and delivery (deliverOrQueue) are each one critical
+// section, which maintains the invariant that a queued message and a
+// posted request matching each other never coexist — so per-(source,
+// tag) non-overtaking order is preserved across both paths.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*message
+	posted []*Request
 	closed bool
 }
 
@@ -118,6 +129,117 @@ func (b *mailbox) peek(src, tag int, c *Comm) *message {
 		}
 		if c != nil && src != AnySource && c.rankDead(src) {
 			panic(DeadRankError{Rank: src, World: c.worldIDOf(src)})
+		}
+		b.cond.Wait()
+	}
+}
+
+// matchOrPost either completes req from an already-queued message or
+// registers it for direct delivery, atomically — the receive side of the
+// fast path. Only called when the communicator carries no CRC framing,
+// so no frame-check loop is needed.
+func (b *mailbox) matchOrPost(req *Request, src, tag int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		panic(errAborted)
+	}
+	if m := b.removeLocked(src, tag); m != nil {
+		req.complete(m)
+		return
+	}
+	b.posted = append(b.posted, req)
+}
+
+// deliverOrQueue is the send side of the fast path: under one lock
+// acquisition it either completes the first matching posted request by
+// copying the payload into its buffers, or stages a message in the queue.
+func (b *mailbox) deliverOrQueue(c *Comm, src, tag int, data []float64, ints []int64, arrival float64) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return // run is being torn down; drop silently
+	}
+	if req := b.takePostedLocked(src, tag); req != nil {
+		req.buf = append(req.buf[:0], data...)
+		req.ibuf = append(req.ibuf[:0], ints...)
+		req.direct = true
+		req.from = src
+		req.arrival = arrival
+		req.done = true
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	m := c.getMessage()
+	m.src, m.tag = src, tag
+	m.data = append(m.data[:0], data...)
+	m.ints = append(m.ints[:0], ints...)
+	m.arrival = arrival
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// takePostedLocked removes and returns the first posted request matching
+// (src, tag) — posting order, mirroring the queue's FIFO matching.
+func (b *mailbox) takePostedLocked(src, tag int) *Request {
+	for i, req := range b.posted {
+		if (req.src == AnySource || req.src == src) && (req.tag == AnyTag || req.tag == tag) {
+			b.removePostedAt(i)
+			return req
+		}
+	}
+	return nil
+}
+
+// unpostLocked removes req from the posted list if registered (a waiter
+// abandoning the request on a dead-sender error).
+func (b *mailbox) unpostLocked(req *Request) {
+	for i, q := range b.posted {
+		if q == req {
+			b.removePostedAt(i)
+			return
+		}
+	}
+}
+
+func (b *mailbox) removePostedAt(i int) {
+	copy(b.posted[i:], b.posted[i+1:])
+	b.posted[len(b.posted)-1] = nil
+	b.posted = b.posted[:len(b.posted)-1]
+}
+
+// waitRequest blocks until req completes — by direct delivery (a sender
+// finds it posted), or by a matching queued message — with the same
+// dead-sender and teardown semantics as takeDead. Frame-checked (CRC)
+// communicators never post requests, so the frame loop here only runs
+// for unposted requests, whose fields the owner goroutine holds
+// exclusively.
+func (b *mailbox) waitRequest(req *Request, r *Rank) error {
+	b.mu.Lock()
+	for {
+		if req.done {
+			b.mu.Unlock()
+			return nil
+		}
+		if m := b.removeLocked(req.src, req.tag); m != nil {
+			b.mu.Unlock()
+			if r.frameOK(m) {
+				req.complete(m)
+				return nil
+			}
+			b.mu.Lock()
+			continue
+		}
+		if b.closed {
+			b.mu.Unlock()
+			panic(errAborted)
+		}
+		if req.src != AnySource && r.comm.rankDead(req.src) {
+			b.unpostLocked(req)
+			b.mu.Unlock()
+			return DeadRankError{Rank: req.src, World: r.comm.worldIDOf(req.src)}
 		}
 		b.cond.Wait()
 	}

@@ -80,6 +80,22 @@ func (r *Rank) checkPeer(peer int) {
 // message is the retransmission.
 func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 	c := r.comm
+	if c.directEligible() {
+		// Fast path: without CRC framing or a fault plane nothing can
+		// reject or reorder the payload, so deliver straight to the
+		// destination mailbox — into an already-posted receive's buffers
+		// when one matches (one copy, no envelope), or a staged message
+		// otherwise. Timing is identical to the staged path: the same
+		// SendStamp fixes the arrival, so modeled time cannot depend on
+		// whether the receive was posted first.
+		nbytes := 8 * int64(len(data)+len(ints))
+		hops := c.hops(r.id, dst)
+		sendVT := r.clock.Now()
+		arrival := r.clock.SendStamp(int(nbytes), hops)
+		c.boxes[dst].deliverOrQueue(c, r.id, tag, data, ints, arrival)
+		c.trace(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, hops, sendVT, arrival, r.prof.site)
+		return nbytes
+	}
 	m := c.getMessage()
 	m.src, m.tag = r.id, tag
 	m.data = append(m.data[:0], data...)

@@ -126,6 +126,10 @@ type GS struct {
 
 	method Method // current default method (set by Tune or SetMethod)
 
+	// pendings counts NewPending calls, assigning each split-phase
+	// exchange handle its own deterministic point-to-point tag.
+	pendings int
+
 	spans *obs.RankTracer // telemetry spans around exchanges (nil = off)
 }
 

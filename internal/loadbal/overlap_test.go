@@ -1,0 +1,75 @@
+package loadbal
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+	"repro/internal/solver"
+)
+
+// runOverlapSim is runSim with compute/communication overlap toggled:
+// the balancer's Remap rebuilds the interior/boundary classification and
+// the split-phase exchange handles, so a run that migrates elements
+// mid-flight must still be bit-identical.
+func runOverlapSim(t *testing.T, np, steps int, hot map[int64]float64, lb *Config, overlap bool) (gidState, int) {
+	t.Helper()
+	cfg := solver.DefaultConfig(np, 5, 2)
+	cfg.HotElems = hot
+	cfg.Overlap = overlap
+	state := make(gidState)
+	rebalances := 0
+	var mu sync.Mutex
+	_, err := comm.Run(np, cfg.CommOptions(netmodel.QDR), func(r *comm.Rank) error {
+		s, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		s.SetInitial(solver.GaussianPulse(1, 1, 1, 0.1, 0.5))
+		var after func(int)
+		var b *Balancer
+		if lb != nil {
+			b = New(s, nil, nil, *lb)
+			after = b.AfterStep
+		}
+		s.RunWith(steps, after)
+		local := collect(s)
+		mu.Lock()
+		for gid, st := range local {
+			state[gid] = st
+		}
+		if b != nil && b.Rebalances > rebalances {
+			rebalances = b.Rebalances
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state, rebalances
+}
+
+// TestOverlapWithRebalance: with a hot octant forcing at least one
+// mid-run element migration, the overlap run must match the blocking
+// run element-for-element — the post-Remap rebuild of the element sets
+// and Pending handles must leave no stale topology behind.
+func TestOverlapWithRebalance(t *testing.T) {
+	const np, steps = 8, 12
+	hot := hotRank(t, solver.DefaultConfig(np, 5, 2), 3, 4)
+	lb := Config{Every: 2}
+
+	ref, refReb := runOverlapSim(t, np, steps, hot, &lb, false)
+	got, gotReb := runOverlapSim(t, np, steps, hot, &lb, true)
+	if refReb == 0 || gotReb == 0 {
+		t.Fatalf("no rebalances fired (off=%d on=%d); scenario does not exercise Remap", refReb, gotReb)
+	}
+	requireSameState(t, got, ref, "overlap+loadbal")
+
+	// And against the never-balanced blocking run: overlap plus migration
+	// together still change nothing.
+	plain, _ := runOverlapSim(t, np, steps, hot, nil, false)
+	requireSameState(t, got, plain, "overlap+loadbal vs plain")
+}

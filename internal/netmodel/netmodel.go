@@ -106,6 +106,12 @@ type Clock struct {
 	model Model
 	now   float64
 	speed float64 // compute slowdown factor (1 = nominal)
+
+	// overlapHidden accumulates the modeled seconds of communication
+	// hidden behind compute by split-phase exchanges: for each
+	// begin/finish pair, min(compute until finish, time to last arrival),
+	// the part of the wire time that did not extend the critical path.
+	overlapHidden float64
 }
 
 // NewClock returns a clock at time zero running under model m.
@@ -166,3 +172,27 @@ func (c *Clock) WaitUntil(t float64) float64 {
 	c.now = t
 	return wait
 }
+
+// AccountOverlap prices one completed split-phase exchange. begin is the
+// virtual time the exchange was posted, computeEnd the time the
+// overlapped compute finished (just before the finish-phase waits), and
+// lastArrival the modeled arrival of the last inbound message. The
+// hidden time — what a serial post-then-wait would have added to the
+// critical path but the overlap absorbed — is min(computeEnd,
+// lastArrival) - begin, clamped at zero. It is accumulated and reported
+// through OverlapHiddenSeconds; the clock itself is not advanced (the
+// arrivals were fixed at send time, so max(compute, exchange) emerges
+// from the ordinary WaitUntil calls).
+func (c *Clock) AccountOverlap(begin, computeEnd, lastArrival float64) {
+	end := computeEnd
+	if lastArrival < end {
+		end = lastArrival
+	}
+	if h := end - begin; h > 0 {
+		c.overlapHidden += h
+	}
+}
+
+// OverlapHiddenSeconds returns the cumulative modeled communication time
+// hidden behind compute by split-phase exchanges on this rank.
+func (c *Clock) OverlapHiddenSeconds() float64 { return c.overlapHidden }

@@ -28,7 +28,7 @@ const (
 	// the transformation set CMT-bone inherits from Nek5000.
 	MxMFusedUnroll
 	// MxMSpecialized uses a fully k-unrolled kernel (Nek5000's
-	// hand-specialized mxm44 family) when k is in [4, 8], falling back
+	// hand-specialized mxm44 family) when k is in [4, 10], falling back
 	// to MxMFusedUnroll otherwise.
 	MxMSpecialized
 )

@@ -4,7 +4,7 @@ package sem
 // routines (mxm44 and friends) whose reduction loop is fully unrolled for
 // the small k values spectral elements produce; with k known at compile
 // time the scale factors stay in registers and the compiler emits
-// straight-line code. MxMSpecialized routes shapes with k in [4, 8] to
+// straight-line code. MxMSpecialized routes shapes with k in [4, 10] to
 // these kernels and falls back to the fused+unrolled generic otherwise.
 
 // mxmSpecialized dispatches on k; reports false when no specialization
@@ -21,6 +21,10 @@ func mxmSpecialized(a []float64, m int, b []float64, k int, c []float64, n int) 
 		mxmK7(a, m, b, c, n)
 	case 8:
 		mxmK8(a, m, b, c, n)
+	case 9:
+		mxmK9(a, m, b, c, n)
+	case 10:
+		mxmK10(a, m, b, c, n)
 	default:
 		return false
 	}
@@ -86,6 +90,34 @@ func mxmK8(a []float64, m int, b, c []float64, n int) {
 		for j := range ci {
 			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
 				a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+		}
+	}
+}
+
+func mxmK9(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3, b4 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n], b[4*n:5*n]
+	b5, b6, b7, b8 := b[5*n:6*n], b[6*n:7*n], b[7*n:8*n], b[8*n:9*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3, a4 := a[i*9], a[i*9+1], a[i*9+2], a[i*9+3], a[i*9+4]
+		a5, a6, a7, a8 := a[i*9+5], a[i*9+6], a[i*9+7], a[i*9+8]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] + a4*b4[j] +
+				a5*b5[j] + a6*b6[j] + a7*b7[j] + a8*b8[j]
+		}
+	}
+}
+
+func mxmK10(a []float64, m int, b, c []float64, n int) {
+	b0, b1, b2, b3, b4 := b[0:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n], b[4*n:5*n]
+	b5, b6, b7, b8, b9 := b[5*n:6*n], b[6*n:7*n], b[7*n:8*n], b[8*n:9*n], b[9*n:10*n]
+	for i := 0; i < m; i++ {
+		a0, a1, a2, a3, a4 := a[i*10], a[i*10+1], a[i*10+2], a[i*10+3], a[i*10+4]
+		a5, a6, a7, a8, a9 := a[i*10+5], a[i*10+6], a[i*10+7], a[i*10+8], a[i*10+9]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			ci[j] = a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] + a4*b4[j] +
+				a5*b5[j] + a6*b6[j] + a7*b7[j] + a8*b8[j] + a9*b9[j]
 		}
 	}
 }

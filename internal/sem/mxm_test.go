@@ -30,7 +30,8 @@ func randSlice(rng *rand.Rand, n int) []float64 {
 
 func TestMxMVariantsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {8, 8, 8}, {10, 25, 7}, {13, 1, 13}, {16, 16, 16}, {25, 25, 25}}
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {8, 8, 8}, {9, 9, 9}, {10, 10, 10},
+		{12, 9, 11}, {7, 10, 9}, {10, 25, 7}, {13, 1, 13}, {16, 16, 16}, {25, 25, 25}}
 	for _, sh := range shapes {
 		m, k, n := sh[0], sh[1], sh[2]
 		a := randSlice(rng, m*k)
@@ -130,5 +131,39 @@ func TestOpCountArithmetic(t *testing.T) {
 	}
 	if a.Flops() != 3 {
 		t.Fatalf("Flops = %d", a.Flops())
+	}
+}
+
+// TestMxMSpecializedExact: every hand-unrolled k specialization must be
+// bit-identical to the basic triple loop — both accumulate the k-term dot
+// product strictly left to right, so even rounding must agree. This keeps
+// the specialized variant eligible anywhere bit-reproducibility is
+// asserted (the solver's determinism contracts).
+func TestMxMSpecializedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for k := 4; k <= 10; k++ {
+		for _, mn := range [][2]int{{1, 1}, {k, k}, {13, 6}, {6, 17}} {
+			m, n := mn[0], mn[1]
+			a := randSlice(rng, m*k)
+			b := randSlice(rng, k*n)
+			want := make([]float64, m*n)
+			MxM(MxMBasic, a, m, b, k, want, n)
+			got := make([]float64, m*n)
+			if !mxmSpecialized(a, m, b, k, got, n) {
+				t.Fatalf("k=%d has no specialization", k)
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("k=%d m=%d n=%d: c[%d] = %x, want %x (not bit-identical)",
+						k, m, n, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+	// And the dispatch boundaries: k outside [4, 10] reports false.
+	for _, k := range []int{1, 2, 3, 11, 12} {
+		if mxmSpecialized(make([]float64, 2*k), 2, make([]float64, k*2), k, make([]float64, 4), 2) {
+			t.Fatalf("k=%d unexpectedly specialized", k)
+		}
 	}
 }

@@ -113,6 +113,15 @@ type Config struct {
 	// (gs_op_fields) instead of one message per field. Default false:
 	// per-field messages, matching the paper's profile.
 	PackedExchange bool
+	// Overlap enables compute/communication overlap in the right-hand
+	// side: each rank classifies its elements into interior (no remotely
+	// shared face points) and boundary sets from the gs topology, posts
+	// the face exchange as soon as the boundary traces exist, and runs
+	// the interior volume kernels while the messages are in flight
+	// (gslib's split-phase gs_op). Pure reordering of independent work:
+	// results are bit-identical with overlap on or off; only the modeled
+	// time changes (exchange latency hides behind interior compute).
+	Overlap bool
 	// Mu is the dynamic viscosity; > 0 enables the compressible
 	// Navier-Stokes viscous flux path (CMT-nek's full governing
 	// equations). Zero — the default — is the inviscid Euler path the

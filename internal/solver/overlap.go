@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/sem"
+)
+
+// Compute/communication overlap (Config.Overlap): the classic DG/SEM
+// latency-hiding optimization the paper's scaling discussion motivates —
+// the gs_op exchange cost grows into the dominant term at scale while
+// interior elements sit ready to compute. Each rank classifies its
+// elements from the gs topology: an element is *boundary* when any of its
+// face points carries a remotely-shared id, *interior* otherwise. The
+// right-hand side then runs boundary face extraction first, posts the
+// split-phase exchange (gs.Pending.Begin), computes every interior volume
+// kernel while the messages are in flight, completes the exchange
+// (Finish), and computes the boundary volume kernels — so the modeled
+// step time becomes max(interior compute, exchange) + boundary compute
+// instead of the serial sum. Every kernel is element-local and the gs
+// combine order is preserved exactly, so results are bit-identical with
+// overlap on or off.
+
+// rhsEval dispatches one right-hand-side evaluation to the overlap or
+// blocking pipeline.
+func (s *Solver) rhsEval(in *[NumFields][]float64) {
+	if s.Cfg.Overlap {
+		s.computeRHSOverlap(in)
+	} else {
+		s.computeRHS(in)
+	}
+}
+
+// rebuildOverlap (re)derives the interior/boundary element classification
+// from the current gs topology and recreates the split-phase exchange
+// handles. It must run whenever the gs handle is rebuilt — construction,
+// Remap (load balancing), and the post-Shrink solver rebuild — so the
+// element sets always match the live topology. No-op unless
+// Config.Overlap is set.
+func (s *Solver) rebuildOverlap() {
+	if !s.Cfg.Overlap {
+		return
+	}
+	nel := s.Local.Nel
+	fpe := sem.NFaces * s.Cfg.N * s.Cfg.N
+	shared := s.gsh.RemoteShared()
+	s.bndElem = make([]bool, nel)
+	for e := 0; e < nel; e++ {
+		base := e * fpe
+		for i := 0; i < fpe; i++ {
+			if shared[base+i] {
+				s.bndElem[e] = true
+				break
+			}
+		}
+	}
+	s.intRuns = s.intRuns[:0]
+	s.bndRuns = s.bndRuns[:0]
+	for e := 0; e < nel; {
+		lo := e
+		bnd := s.bndElem[e]
+		for e < nel && s.bndElem[e] == bnd {
+			e++
+		}
+		if bnd {
+			s.bndRuns = append(s.bndRuns, [2]int{lo, e})
+		} else {
+			s.intRuns = append(s.intRuns, [2]int{lo, e})
+		}
+	}
+	// Fresh Pendings per gs handle: both are created in the same order on
+	// every rank, so their deterministic tags agree globally.
+	s.pendU = s.gsh.NewPending()
+	s.pendF = s.gsh.NewPending()
+}
+
+// InteriorElems returns how many local elements have no remotely-shared
+// face point (only meaningful with Config.Overlap).
+func (s *Solver) InteriorElems() int {
+	n := 0
+	for _, run := range s.intRuns {
+		n += run[1] - run[0]
+	}
+	return n
+}
+
+// copyTraces copies the face traces of the given element runs from src
+// into dst (the exchange working copies).
+func (s *Solver) copyTraces(dst, src *[NumFields][]float64, runs [][2]int) {
+	fpe := sem.NFaces * s.Cfg.N * s.Cfg.N
+	for _, run := range runs {
+		lo, hi := run[0]*fpe, run[1]*fpe
+		for c := 0; c < NumFields; c++ {
+			copy(dst[c][lo:hi], src[c][lo:hi])
+		}
+	}
+}
+
+// computeRHSOverlap is computeRHS with the interior/boundary split: the
+// same helpers over reordered element runs, with the exchange posted as
+// soon as the boundary traces exist. The inviscid path overlaps both
+// exchanges with the whole interior phase; the viscous path must run the
+// boundary volume kernels before the flux exchange can start (they
+// extract the viscous flux traces), so its flux exchange overlaps the
+// interior phase only.
+func (s *Solver) computeRHSOverlap(in *[NumFields][]float64) {
+	viscous := s.Cfg.Mu > 0
+
+	s.rhsPrimitive(in)
+	if viscous {
+		s.computeGradients(in)
+	}
+
+	if !viscous {
+		// Boundary faces first, then both exchanges in flight across the
+		// entire interior phase.
+		s.faceExtractRuns(in, s.bndRuns)
+		s.surfaceFluxRuns(s.bndRuns)
+		s.copyTraces(&s.exU, &s.faceU, s.bndRuns)
+		s.copyTraces(&s.exF, &s.faceF, s.bndRuns)
+		stop := s.span("gs_op", obs.CatGS)
+		s.pendU.Begin(s.exU[:], comm.OpSum)
+		s.pendF.Begin(s.exF[:], comm.OpSum)
+		stop()
+
+		s.volumeRuns(in, s.intRuns, false)
+		s.faceExtractRuns(in, s.intRuns)
+		s.surfaceFluxRuns(s.intRuns)
+		s.copyTraces(&s.exU, &s.faceU, s.intRuns)
+		s.copyTraces(&s.exF, &s.faceF, s.intRuns)
+
+		stop = s.span("gs_op", obs.CatGS)
+		s.pendU.Finish()
+		s.pendF.Finish()
+		stop()
+
+		s.volumeRuns(in, s.bndRuns, false)
+	} else {
+		// The state exchange starts as soon as the boundary traces are
+		// extracted; the flux exchange needs the boundary volume pass
+		// (which extracts the viscous flux traces) before it can start.
+		s.faceExtractRuns(in, s.bndRuns)
+		s.copyTraces(&s.exU, &s.faceU, s.bndRuns)
+		stop := s.span("gs_op", obs.CatGS)
+		s.pendU.Begin(s.exU[:], comm.OpSum)
+		stop()
+
+		s.volumeRuns(in, s.bndRuns, true)
+		s.copyTraces(&s.exF, &s.faceF, s.bndRuns)
+		stop = s.span("gs_op", obs.CatGS)
+		s.pendF.Begin(s.exF[:], comm.OpSum)
+		stop()
+
+		s.volumeRuns(in, s.intRuns, true)
+		s.faceExtractRuns(in, s.intRuns)
+		s.copyTraces(&s.exU, &s.faceU, s.intRuns)
+		s.copyTraces(&s.exF, &s.faceF, s.intRuns)
+
+		stop = s.span("gs_op", obs.CatGS)
+		s.pendU.Finish()
+		s.pendF.Finish()
+		stop()
+	}
+
+	s.rhsTail()
+}

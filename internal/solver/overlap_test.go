@@ -1,0 +1,171 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/gs"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+)
+
+// runOverlap runs a short multi-rank simulation and returns every rank's
+// final conserved state, the run reports, and the comm stats (for the
+// modeled makespan and the overlap-hidden accounting).
+func runOverlap(t *testing.T, model netmodel.Model, elemsPerDir int, mutate func(*Config)) ([][NumFields][]float64, []Report, *comm.Stats) {
+	t.Helper()
+	const np = 4
+	cfg := DefaultConfig(np, 5, elemsPerDir)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	states := make([][NumFields][]float64, np)
+	reports := make([]Report, np)
+	stats, err := comm.Run(np, cfg.CommOptions(model), func(r *comm.Rank) error {
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		s.SetInitial(GaussianPulse(1, 1, 1, 0.1, 0.5))
+		reports[r.ID()] = s.Run(3)
+		for c := 0; c < NumFields; c++ {
+			states[r.ID()][c] = append([]float64(nil), s.U[c]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states, reports, stats
+}
+
+func requireBitIdentical(t *testing.T, got, want [][NumFields][]float64, label string) {
+	t.Helper()
+	for rank := range want {
+		for c := 0; c < NumFields; c++ {
+			for i, v := range want[rank][c] {
+				if math.Float64bits(got[rank][c][i]) != math.Float64bits(v) {
+					t.Fatalf("%s: rank %d field %d point %d: %x != %x",
+						label, rank, c, i,
+						math.Float64bits(got[rank][c][i]), math.Float64bits(v))
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapBitIdentical is the tentpole's correctness contract: the
+// interior/boundary split with the split-phase exchange must not change
+// one bit of the solution or the run report on any physics path, gs
+// method (the non-pairwise methods exercise the blocking fallback), or
+// worker count. Only the modeled time may move.
+func TestOverlapBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"plain", nil},
+		{"dealias", func(c *Config) { c.Dealias = true }},
+		{"viscous", func(c *Config) { c.Mu = 0.02 }},
+		{"wall-bc", func(c *Config) {
+			c.Periodic = [3]bool{false, true, true}
+			c.BC = BCWall
+		}},
+		{"packed", func(c *Config) { c.PackedExchange = true }},
+		{"filter", func(c *Config) { c.FilterCutoff = 3 }},
+		{"crystal-fallback", func(c *Config) { c.GSMethod = gs.CrystalRouter }},
+		{"allreduce-fallback", func(c *Config) { c.GSMethod = gs.AllReduce }},
+		{"workers", func(c *Config) { c.Workers = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// elemsPerDir=3 gives every rank a non-empty interior set, so
+			// the split actually reorders work (elemsPerDir=2 would make
+			// every element a boundary element).
+			off, offReports, _ := runOverlap(t, netmodel.QDR, 3, tc.mutate)
+			on, onReports, _ := runOverlap(t, netmodel.QDR, 3, func(c *Config) {
+				if tc.mutate != nil {
+					tc.mutate(c)
+				}
+				c.Overlap = true
+			})
+			requireBitIdentical(t, on, off, tc.name)
+			for rank := range offReports {
+				if onReports[rank] != offReports[rank] {
+					t.Fatalf("%s: rank %d report %+v != %+v",
+						tc.name, rank, onReports[rank], offReports[rank])
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapAllBoundary covers the degenerate split: with two elements
+// per direction every local element touches a partition boundary, so the
+// interior set is empty and Finish immediately follows Begin. Results
+// must still be bit-identical.
+func TestOverlapAllBoundary(t *testing.T) {
+	off, _, _ := runOverlap(t, netmodel.QDR, 2, nil)
+	on, _, _ := runOverlap(t, netmodel.QDR, 2, func(c *Config) { c.Overlap = true })
+	requireBitIdentical(t, on, off, "all-boundary")
+}
+
+// TestOverlapHidesComm is the performance contract and the VT-invariance
+// check: on a communication-bound configuration (slow GigE-class network,
+// interior elements available) the overlap run must hide a positive
+// amount of modeled exchange time behind interior compute, reduce — or
+// at least not increase — the modeled makespan, and still produce the
+// bit-identical solution. The shared overlap_hidden_seconds gauge must
+// agree with the per-rank clock accounting.
+func TestOverlapHidesComm(t *testing.T) {
+	off, _, offStats := runOverlap(t, netmodel.GigE, 3, nil)
+	if h := offStats.TotalOverlapHidden(); h != 0 {
+		t.Fatalf("overlap-off run accounted %v hidden seconds, want 0", h)
+	}
+
+	reg := obs.NewRegistry()
+	interior := make([]int, 4)
+	var onStats *comm.Stats
+	states := make([][NumFields][]float64, 4)
+	cfg := DefaultConfig(4, 5, 3)
+	cfg.Overlap = true
+	cfg.Metrics = reg
+	stats, err := comm.Run(4, cfg.CommOptions(netmodel.GigE), func(r *comm.Rank) error {
+		s, err := New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		interior[r.ID()] = s.InteriorElems()
+		s.SetInitial(GaussianPulse(1, 1, 1, 0.1, 0.5))
+		s.Run(3)
+		for c := 0; c < NumFields; c++ {
+			states[r.ID()][c] = append([]float64(nil), s.U[c]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onStats = stats
+
+	requireBitIdentical(t, states, off, "overlap-on vs off")
+	for rank, n := range interior {
+		if n == 0 {
+			t.Fatalf("rank %d has no interior elements; config does not exercise overlap", rank)
+		}
+	}
+	hidden := onStats.TotalOverlapHidden()
+	if hidden <= 0 {
+		t.Fatalf("overlap hid %v modeled seconds, want > 0", hidden)
+	}
+	if on, offVT := onStats.MaxVirtualTime(), offStats.MaxVirtualTime(); on > offVT {
+		t.Fatalf("overlap-on makespan %v > overlap-off %v; overlap made the modeled run slower", on, offVT)
+	}
+	gauge := reg.Gauge("overlap_hidden_seconds").Value()
+	if diff := math.Abs(gauge - hidden); diff > 1e-9*hidden {
+		t.Fatalf("overlap_hidden_seconds gauge %v != clock accounting %v", gauge, hidden)
+	}
+}

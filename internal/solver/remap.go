@@ -137,6 +137,7 @@ func (s *Solver) Remap(newOwn *mesh.Ownership, sidecar []float64, k int) (newSid
 	s.Rank.SetSite("")
 	s.setupGS()
 	s.gsh.SetMethod(method)
+	s.rebuildOverlap()
 	stop()
 	return newSidecar, movedElems, movedBytes
 }

@@ -84,6 +84,17 @@ type Solver struct {
 	// model consumes.
 	kernelSec float64
 
+	// Overlap state (Config.Overlap): element classification from the gs
+	// topology — bndElem[e] is true when element e holds any remotely
+	// shared face point — as maximal contiguous runs, plus the reusable
+	// split-phase exchange handles for the state and flux traces.
+	// Rebuilt with the gs handle (construction, Remap, Shrink-rebuild).
+	bndElem      []bool
+	intRuns      [][2]int
+	bndRuns      [][2]int
+	pendU, pendF *gs.Pending
+	prevHidden   float64 // overlap-hidden seconds at the last telemetry flush
+
 	// ow is the current element ownership map (lazily the uniform split;
 	// replaced by Remap).
 	ow *mesh.Ownership
@@ -161,6 +172,7 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 	} else {
 		s.gsh.SetMethod(cfg.GSMethod)
 	}
+	s.rebuildOverlap()
 	return s, nil
 }
 

@@ -78,7 +78,7 @@ func (s *Solver) Step(dt float64) {
 	vol := len(s.U[IRho])
 
 	// Stage 1: u1 = U + dt RHS(U).
-	s.computeRHS(&s.U)
+	s.rhsEval(&s.U)
 	stopUpd := s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, rc, o := s.U[c], s.rhs[c], s.u1[c]
@@ -90,7 +90,7 @@ func (s *Solver) Step(dt float64) {
 	}
 	stopUpd()
 	// Stage 2: u2 = 3/4 U + 1/4 (u1 + dt RHS(u1)).
-	s.computeRHS(&s.u1)
+	s.rhsEval(&s.u1)
 	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u1c, rc, o := s.U[c], s.u1[c], s.rhs[c], s.u2[c]
@@ -102,7 +102,7 @@ func (s *Solver) Step(dt float64) {
 	}
 	stopUpd()
 	// Stage 3: U = 1/3 U + 2/3 (u2 + dt RHS(u2)).
-	s.computeRHS(&s.u2)
+	s.rhsEval(&s.u2)
 	stopUpd = s.span("rk_update", obs.CatRK)
 	for c := 0; c < NumFields; c++ {
 		uc, u2c, rc := s.U[c], s.u2[c], s.rhs[c]
@@ -137,6 +137,15 @@ func (s *Solver) Step(dt float64) {
 // so the modeled run is identical with telemetry on or off.
 func (s *Solver) stepTelemetry(step int, dt float64) {
 	s.simTime += dt
+	if s.Cfg.Overlap {
+		// Cumulative modeled comm seconds this rank hid behind interior
+		// compute, charged as per-step deltas (the registry is shared, so
+		// the gauge sums over ranks).
+		if h := s.Rank.Clock().OverlapHiddenSeconds(); h > s.prevHidden {
+			s.Cfg.Metrics.Gauge("overlap_hidden_seconds").Add(h - s.prevHidden)
+			s.prevHidden = h
+		}
+	}
 	if s.Cfg.Steps == nil {
 		return
 	}

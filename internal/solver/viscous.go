@@ -76,11 +76,17 @@ func (s *Solver) computeGradients(in *[NumFields][]float64) {
 // along direction d from s.fx (which already holds the Euler flux).
 // Requires computeGradients.
 func (s *Solver) addViscousFlux(c, d int) {
+	s.addViscousFluxRange(c, d, 0, len(s.fx))
+}
+
+// addViscousFluxRange is addViscousFlux over the point range
+// [off, off+volr) — the overlap path calls it per element run; values are
+// pointwise, so any split is bit-identical to the full sweep.
+func (s *Solver) addViscousFluxRange(c, d, off, volr int) {
 	mu := s.Cfg.Mu
 	// Fourier conductivity: kappa = mu * cp / Pr, cp = Gamma/(Gamma-1)
 	// with R = 1.
 	kappa := mu * Gamma / (Gamma - 1) / s.Cfg.Pr
-	vol := len(s.fx)
 
 	dudx := s.gradD[gradVx]
 	dvdx := s.gradD[gradVy]
@@ -95,16 +101,16 @@ func (s *Solver) addViscousFlux(c, d int) {
 		gi := s.gradD[gradVx+i][d]
 		gd := s.gradD[gradVx+d][i]
 		if i == d {
-			s.pool.For(vol, func(lo, hi int) {
-				for p := lo; p < hi; p++ {
+			s.pool.For(volr, func(lo, hi int) {
+				for p := off + lo; p < off+hi; p++ {
 					divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
 					tau := mu*(gi[p]+gd[p]) - (2.0/3.0)*mu*divv
 					s.fx[p] -= tau
 				}
 			})
 		} else {
-			s.pool.For(vol, func(lo, hi int) {
-				for p := lo; p < hi; p++ {
+			s.pool.For(volr, func(lo, hi int) {
+				for p := off + lo; p < off+hi; p++ {
 					s.fx[p] -= mu * (gi[p] + gd[p])
 				}
 			})
@@ -113,8 +119,8 @@ func (s *Solver) addViscousFlux(c, d int) {
 		// Work of the stress plus heat conduction:
 		// F_visc,E[d] = sum_i v_i tau_{i,d} + kappa dT/dx_d.
 		gT := s.gradD[gradT][d]
-		s.pool.For(vol, func(lo, hi int) {
-			for p := lo; p < hi; p++ {
+		s.pool.For(volr, func(lo, hi int) {
+			for p := off + lo; p < off+hi; p++ {
 				divv := dudx[0][p] + dvdx[1][p] + dwdx[2][p]
 				var work float64
 				for i := 0; i < 3; i++ {
@@ -128,6 +134,6 @@ func (s *Solver) addViscousFlux(c, d int) {
 			}
 		})
 	}
-	s.chargeCompute(sem.OpCount{Mul: int64(vol) * 6, Add: int64(vol) * 6,
-		Load: int64(vol) * 8, Store: int64(vol)}, pointwiseTraits)
+	s.chargeCompute(sem.OpCount{Mul: int64(volr) * 6, Add: int64(volr) * 6,
+		Load: int64(volr) * 8, Store: int64(volr)}, pointwiseTraits)
 }
