@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-all bench-diff
 
 all: check
 
@@ -68,3 +68,20 @@ bench-loadbal:
 # makespans on a communication-bound (GigE) configuration.
 bench-overlap:
 	$(GO) run ./cmd/scalebench -n 5 -maxranks 8 -net gige -overlap -overlap-json BENCH_overlap_baseline.json
+
+# Run every bench suite in-process (loadbal + overlap studies traced,
+# kernel worker sweep, allocation guard) and write the unified
+# schema-versioned trajectory plus the critical-path reports. This is
+# the single file future benchdiff runs compare against — it carries
+# critical-path summaries, so regressions get blame lines.
+bench-all:
+	$(GO) run ./cmd/benchdiff -record BENCH_trajectory.json -critpath CRITPATH_REPORT.txt
+
+# The regression gate: re-run every suite the committed baselines
+# cover and diff. Deterministic modeled metrics gate at 2%; wall-clock
+# metrics are report-only (CI hosts differ from the recording host).
+# Exit 1 on regression, with critical-path blame lines naming the
+# responsible rank and phase.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -threshold 0.02 BENCH_loadbal_baseline.json BENCH_overlap_baseline.json BENCH_workers_baseline.json
+	$(GO) run ./cmd/benchdiff -threshold 0.02 -critpath CRITPATH_REPORT.txt BENCH_trajectory.json

@@ -1,0 +1,309 @@
+// Command benchdiff is the continuous performance-regression harness:
+// it loads committed BENCH_*.json baselines (any schema version),
+// re-runs the same measurements in-process, and compares.
+//
+// Deterministic modeled metrics (virtual-clock makespans, modeled MPI
+// fractions) are bit-reproducible, so they gate tightly (-threshold).
+// Wall-clock metrics are noisy and host-dependent; by default they are
+// report-only, and with -wall-threshold they gate using repetition-based
+// confidence bounds (-reps). When a regression is found on a scenario
+// whose runs carry critical-path summaries, benchdiff prints a blame
+// diff — which rank/phase bucket of the critical path grew.
+//
+//	benchdiff BENCH_loadbal_baseline.json BENCH_overlap_baseline.json
+//	benchdiff -record BENCH_trajectory.json
+//	benchdiff -hot 16 BENCH_trajectory.json   # inject a skew, watch it fail
+//
+// Exit status: 0 clean, 1 regressions found, 2 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/report"
+	"repro/internal/sem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	record := flag.String("record", "", "run all suites and write a fresh trajectory to this file instead of comparing")
+	threshold := flag.Float64("threshold", 0.02, "relative worsening tolerated on deterministic (modeled) metrics")
+	wallThreshold := flag.Float64("wall-threshold", 0, "gate wall-clock metrics beyond this relative worsening (0 = report-only)")
+	reps := flag.Int("reps", 3, "kernel-sweep repetitions for wall-clock confidence bounds")
+	topBlame := flag.Int("top", 3, "critical-path blame lines per regression")
+	critOut := flag.String("critpath", "", "write the fresh run's full critical-path reports to this file")
+	freshOut := flag.String("fresh", "", "also write the fresh trajectory to this file")
+	hot := flag.Float64("hot", 0, "inject a hot-rank compute skew of this factor into the fresh loadbal study (regression demo)")
+	verbose := flag.Bool("v", false, "list bit-identical metrics and unmatched scenarios too")
+	// Positional arguments are the baseline files, so plain flag.Parse
+	// (not cli.Parse, which rejects positionals).
+	flag.Parse()
+
+	if *record != "" {
+		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, allocs: true},
+			nil, *reps, *hot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := traj.WriteFile(*record); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d results to %s\n", len(traj.Results), *record)
+		writeCrit(*critOut, crit)
+		return
+	}
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		log.Print("no baselines given; usage: benchdiff [flags] BENCH_baseline.json...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	base := &report.Trajectory{SchemaVersion: report.SchemaVersion}
+	for _, p := range paths {
+		t, err := report.ReadTrajectory(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %s: schema v%d, %d results\n", p, t.SchemaVersion, len(t.Results))
+		base.Results = append(base.Results, t.Results...)
+		if base.Host.NumCPU == 0 {
+			base.Host = t.Host
+		}
+	}
+
+	want := suitesOf(base)
+	fresh, crit, err := freshRun(want, base, *reps, *hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *freshOut != "" {
+		if err := fresh.WriteFile(*freshOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeCrit(*critOut, crit)
+
+	opts := bench.CompareOptions{
+		Threshold:     *threshold,
+		WallThreshold: *wallThreshold,
+		WallCI:        fresh.wallCI,
+		TopBlame:      *topBlame,
+	}
+	if base.Host.NumCPU != 0 && base.Host.NumCPU != runtime.NumCPU() && *wallThreshold > 0 {
+		fmt.Printf("note: baseline host had %d CPUs, this host %d — wall-clock comparisons are cross-machine\n",
+			base.Host.NumCPU, runtime.NumCPU())
+	}
+	cmp := bench.Compare(base, fresh.Trajectory, opts)
+	fmt.Println()
+	fmt.Print(cmp.Format(*verbose))
+	if len(cmp.Regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+// suiteSet selects which measurement suites a fresh run performs.
+type suiteSet struct {
+	loadbal, overlap, kernel, allocs bool
+}
+
+func suitesOf(t *report.Trajectory) suiteSet {
+	var s suiteSet
+	for i := range t.Results {
+		switch t.Results[i].Suite {
+		case "scalebench-loadbal":
+			s.loadbal = true
+		case "scalebench-overlap":
+			s.overlap = true
+		case "kernelbench":
+			s.kernel = true
+		case "allocs":
+			s.allocs = true
+		}
+	}
+	return s
+}
+
+// freshTrajectory bundles the fresh measurements with the wall-clock
+// confidence half-widths the repetitions produced.
+type freshTrajectory struct {
+	*report.Trajectory
+	wallCI map[string]float64
+}
+
+// freshRun performs the selected suites in-process and returns the
+// unified trajectory plus the critical-path reports of the traced runs.
+func freshRun(want suiteSet, base *report.Trajectory, reps int, hot float64) (*freshTrajectory, []string, error) {
+	traj := report.New(nil)
+	out := &freshTrajectory{Trajectory: traj, wallCI: map[string]float64{}}
+	var crit []string
+
+	if want.loadbal {
+		opts := bench.LoadbalOptions{Trace: true, HotFactor: hot}
+		fmt.Printf("running loadbal study (traced)...\n")
+		res, err := bench.LoadbalStudy(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		traj.Results = append(traj.Results, res.Results()...)
+		for _, s := range res.Scenarios {
+			if s.Critpath != nil {
+				crit = append(crit, fmt.Sprintf("== scalebench-loadbal/%s ==\n%s",
+					s.Scenario, s.Critpath.Format(5)))
+			}
+		}
+	}
+	if want.overlap {
+		fmt.Printf("running overlap study (traced)...\n")
+		res, err := bench.OverlapStudy(bench.OverlapOptions{Trace: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		traj.Results = append(traj.Results, res.Results()...)
+		for _, s := range res.Scenarios {
+			if s.Critpath != nil {
+				crit = append(crit, fmt.Sprintf("== scalebench-overlap/%s ==\n%s",
+					s.Scenario, s.Critpath.Format(5)))
+			}
+		}
+	}
+	if want.kernel {
+		opts := sweepOptsFrom(base)
+		fmt.Printf("running kernel worker sweep (n=%d nel=%d steps=%d, %d reps)...\n",
+			opts.N, opts.Nel, opts.Steps, reps)
+		results, ci := repeatedSweep(opts, reps)
+		traj.Results = append(traj.Results, results...)
+		for k, v := range ci {
+			out.wallCI[k] = v
+		}
+	}
+	if want.allocs {
+		fmt.Printf("running steady-state allocation guard...\n")
+		recs, err := bench.AllocsGuard()
+		if err != nil {
+			return nil, nil, err
+		}
+		traj.Results = append(traj.Results, bench.AllocsResults(recs)...)
+	}
+	return out, crit, nil
+}
+
+// sweepOptsFrom reconstructs the kernel-sweep configuration from the
+// baseline's recorded parameters and scenarios, so the fresh run
+// measures exactly the committed points. A nil baseline (record mode)
+// uses the committed-baseline defaults.
+func sweepOptsFrom(base *report.Trajectory) bench.SweepOptions {
+	opts := bench.SweepOptions{Workers: []int{1}, Variant: sem.Optimized}
+	if base == nil {
+		return opts
+	}
+	seen := map[int]bool{}
+	var widths []int
+	for i := range base.Results {
+		r := &base.Results[i]
+		if r.Suite != "kernelbench" {
+			continue
+		}
+		if v, err := strconv.Atoi(r.Params["n"]); err == nil {
+			opts.N = v
+		}
+		if v, err := strconv.Atoi(r.Params["nel"]); err == nil {
+			opts.Nel = v
+		}
+		if v, err := strconv.Atoi(r.Params["steps"]); err == nil {
+			opts.Steps = v
+		}
+		// Scenario format: "<dir>/<variant>/workers=<w>".
+		parts := strings.Split(r.Scenario, "/")
+		if len(parts) == 3 {
+			if v, err := cli.ParseVariant(parts[1]); err == nil {
+				opts.Variant = v
+			}
+			var w int
+			if _, err := fmt.Sscanf(parts[2], "workers=%d", &w); err == nil && !seen[w] {
+				seen[w] = true
+				widths = append(widths, w)
+			}
+		}
+	}
+	if len(widths) > 0 {
+		sort.Ints(widths)
+		opts.Workers = widths
+	}
+	return opts
+}
+
+// repeatedSweep runs the worker sweep reps times, reporting per-metric
+// means with 95%-style confidence half-widths (2*stderr) for the
+// comparison's wall-clock noise bounds.
+func repeatedSweep(opts bench.SweepOptions, reps int) ([]report.BenchResult, map[string]float64) {
+	if reps < 1 {
+		reps = 1
+	}
+	var runs [][]report.BenchResult
+	for i := 0; i < reps; i++ {
+		runs = append(runs, bench.SweepResults(bench.WorkerSweep(opts)))
+	}
+	results := make([]report.BenchResult, len(runs[0]))
+	ci := map[string]float64{}
+	for ri := range runs[0] {
+		r := runs[0][ri] // key, params, metric order are identical across reps
+		for mi := range r.Metrics {
+			var vals []float64
+			for _, run := range runs {
+				vals = append(vals, run[ri].Metrics[mi].Value)
+			}
+			mean, half := meanCI(vals)
+			r.Metrics[mi].Value = mean
+			ci[r.Key()+"|"+r.Metrics[mi].Name] = half
+		}
+		results[ri] = r
+	}
+	return results, ci
+}
+
+// meanCI returns the sample mean and 2*stderr (0 for a single rep).
+func meanCI(vals []float64) (float64, float64) {
+	n := float64(len(vals))
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / n
+	if len(vals) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	return mean, 2 * math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}
+
+// writeCrit writes the collected critical-path reports, if requested.
+func writeCrit(path string, crit []string) {
+	if path == "" || len(crit) == 0 {
+		return
+	}
+	var buf []byte
+	for _, c := range crit {
+		buf = append(buf, c...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote critical-path report to %s\n", path)
+}

@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cli"
@@ -199,6 +202,33 @@ func main() {
 		opts.Faults = inj
 	}
 
+	// Telemetry must survive abnormal exits: the partial trace and step
+	// stream of a run that panicked or was interrupted are exactly the
+	// post-mortem artifacts wanted. The sink flushes once, whichever of
+	// the signal handler, the failure path, or normal completion gets
+	// there first.
+	sink := &telemetrySink{tel: tel, traceFile: traceFile, coll: coll, metricsFile: metricsFile}
+	if tel != nil || coll != nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigc
+			log.Printf("%v: flushing telemetry before exit", s)
+			if err := sink.Flush(); err != nil {
+				log.Printf("telemetry flush: %v", err)
+			}
+			os.Exit(130)
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				if err := sink.Flush(); err != nil {
+					log.Printf("telemetry flush: %v", err)
+				}
+				panic(p)
+			}
+		}()
+	}
+
 	fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
 		*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
 		cfg.ElemGrid[0]*cfg.ElemGrid[1]*cfg.ElemGrid[2] / *np, cfg.N, *steps, *gsName, model.Name)
@@ -276,6 +306,11 @@ func main() {
 		return nil
 	})
 	if err != nil {
+		if ferr := sink.Flush(); ferr != nil {
+			log.Printf("telemetry flush: %v", ferr)
+		} else if tel != nil || coll != nil {
+			log.Printf("telemetry flushed before exit")
+		}
 		log.Fatal(err)
 	}
 
@@ -321,13 +356,10 @@ func main() {
 	if *ckptDir != "" {
 		fmt.Printf("checkpoint written to %s\n", checkpoint.FilePath(*ckptDir, "final", 0))
 	}
+	if err := sink.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	if tel != nil {
-		if err := tel.WritePerfetto(traceFile); err != nil {
-			log.Fatalf("-trace: %v", err)
-		}
-		if err := traceFile.Close(); err != nil {
-			log.Fatalf("-trace: %v", err)
-		}
 		fmt.Printf("trace written to %s (%d spans, %d flows; load in ui.perfetto.dev)\n",
 			*traceOut, len(tel.Spans()), len(tel.Flows()))
 		if ds, df := tel.Dropped(); ds+df > 0 {
@@ -335,14 +367,7 @@ func main() {
 		}
 	}
 	if coll != nil {
-		n, err := coll.Flush()
-		if err != nil {
-			log.Fatalf("-metrics: %v", err)
-		}
-		if err := metricsFile.Close(); err != nil {
-			log.Fatalf("-metrics: %v", err)
-		}
-		fmt.Printf("step metrics written to %s (%d records)\n", *metricsOut, n)
+		fmt.Printf("step metrics written to %s (%d records)\n", *metricsOut, sink.records)
 		f, err := os.Open(*metricsOut)
 		if err != nil {
 			log.Fatalf("-metrics: %v", err)
@@ -379,4 +404,43 @@ func main() {
 		fmt.Print(report.Fig10MessageSizes(stats.AggregateSites(), 12))
 	}
 	os.Exit(0)
+}
+
+// telemetrySink owns the run's trace and step-metrics outputs and
+// flushes them exactly once, from whichever exit path runs first —
+// normal completion, the fatal-error path, a panic unwinding through
+// main, or the SIGINT/SIGTERM handler. Every field is optional.
+type telemetrySink struct {
+	tel         *obs.Tracer
+	traceFile   *os.File
+	coll        *obs.StepCollector
+	metricsFile *os.File
+
+	once    sync.Once
+	records int
+	err     error
+}
+
+// Flush writes the Perfetto trace and the buffered step records and
+// closes both files, keeping the first error. Safe to call from any
+// goroutine, any number of times.
+func (ts *telemetrySink) Flush() error {
+	ts.once.Do(func() {
+		keep := func(err error, what string) {
+			if err != nil && ts.err == nil {
+				ts.err = fmt.Errorf("%s: %w", what, err)
+			}
+		}
+		if ts.tel != nil {
+			keep(ts.tel.WritePerfetto(ts.traceFile), "-trace")
+			keep(ts.traceFile.Close(), "-trace")
+		}
+		if ts.coll != nil {
+			n, err := ts.coll.Flush()
+			ts.records = n
+			keep(err, "-metrics")
+			keep(ts.metricsFile.Close(), "-metrics")
+		}
+	})
+	return ts.err
 }

@@ -9,15 +9,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/hw"
 	"repro/internal/pool"
@@ -94,87 +93,28 @@ func main() {
 	runOne(machine, variants, *n, *nel, *steps, *workers)
 }
 
-// sweepRecord is one (direction, workers) measurement of the worker
-// sweep, the schema of the BENCH_*.json baselines.
-type sweepRecord struct {
-	Bench   string  `json:"bench"`
-	N       int     `json:"n"`
-	Nel     int     `json:"nel"`
-	Steps   int     `json:"steps"`
-	Dir     string  `json:"dir"`
-	Variant string  `json:"variant"`
-	Workers int     `json:"workers"`
-	Wall    float64 `json:"wall_seconds"`
-	Gflops  float64 `json:"gflops_per_sec"`
-	Speedup float64 `json:"speedup_vs_serial"`
-	NumCPU  int     `json:"num_cpu"`
-}
-
-// workerCounts returns 1, 2, 4, ... plus NumCPU, deduplicated.
-func workerCounts() []int {
-	var ws []int
-	for w := 1; w <= runtime.NumCPU(); w *= 2 {
-		ws = append(ws, w)
-	}
-	if last := ws[len(ws)-1]; last != runtime.NumCPU() {
-		ws = append(ws, runtime.NumCPU())
-	}
-	return ws
-}
-
 // runWorkerSweep times the derivative kernel across worker counts and
 // prints (and optionally records) wall time and speedup versus serial.
-// The element loop is the only thing that parallelizes; results are
-// bit-identical at every width (the solver's determinism test pins
-// that), so this sweep is purely a wall-clock measurement.
+// The measurement core lives in internal/bench so cmd/benchdiff can
+// re-run the identical sweep; the JSON artifact is a schema-versioned
+// report.Trajectory.
 func runWorkerSweep(v sem.KernelVariant, n, nel, steps int, jsonPath string) {
-	ref := sem.NewRef1D(n)
-	n3 := n * n * n
-	rng := rand.New(rand.NewSource(1))
-	u := make([]float64, nel*n3)
-	for i := range u {
-		u[i] = rng.Float64()
-	}
-	du := make([]float64, len(u))
-
 	fmt.Printf("Derivative kernel worker sweep: N=%d, Nel=%d, %d steps, NumCPU=%d (%v)\n\n",
 		n, nel, steps, runtime.NumCPU(), v)
 	fmt.Printf("%8s %6s %12s %10s %9s\n", "workers", "dir", "wall(s)", "Gflop/s", "speedup")
 
-	var records []sweepRecord
-	serial := map[string]float64{}
-	for _, w := range workerCounts() {
-		pl := pool.New(w)
-		for _, dir := range []sem.Direction{sem.DirT, sem.DirR, sem.DirS} {
-			start := time.Now()
-			var ops sem.OpCount
-			for s := 0; s < steps; s++ {
-				ops = ops.Plus(sem.DerivPool(pl, dir, v, ref, u, du, nel))
-			}
-			wall := time.Since(start).Seconds()
-			if w == 1 {
-				serial[dir.String()] = wall
-			}
-			speedup := serial[dir.String()] / wall
-			gflops := float64(ops.Flops()) / wall / 1e9
-			fmt.Printf("%8d %6s %12.4f %10.2f %8.2fx\n", w, dir, wall, gflops, speedup)
-			records = append(records, sweepRecord{
-				Bench: "deriv_worker_sweep", N: n, Nel: nel, Steps: steps,
-				Dir: dir.String(), Variant: v.String(), Workers: w,
-				Wall: wall, Gflops: gflops, Speedup: speedup, NumCPU: runtime.NumCPU(),
-			})
-		}
-		pl.Close()
-	}
+	records := bench.WorkerSweep(bench.SweepOptions{
+		N: n, Nel: nel, Steps: steps, Variant: v,
+		Each: func(r bench.SweepRecord) {
+			fmt.Printf("%8d %6s %12.4f %10.2f %8.2fx\n", r.Workers, r.Dir, r.Wall, r.Gflops, r.Speedup)
+		},
+	})
 	if jsonPath != "" {
-		buf, err := json.MarshalIndent(records, "", "  ")
-		if err != nil {
+		traj := report.New(bench.SweepResults(records))
+		if err := traj.WriteFile(jsonPath); err != nil {
 			log.Fatalf("-json: %v", err)
 		}
-		if err := os.WriteFile(jsonPath, append(buf, 0x0a), 0o644); err != nil {
-			log.Fatalf("-json: %v", err)
-		}
-		fmt.Printf("\nwrote %d records to %s\n", len(records), jsonPath)
+		fmt.Printf("\nwrote %d results to %s (schema v%d)\n", len(traj.Results), jsonPath, report.SchemaVersion)
 	}
 }
 

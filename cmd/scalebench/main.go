@@ -7,19 +7,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/comm"
 	"repro/internal/loadbal"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/solver"
 )
 
@@ -140,229 +141,65 @@ func main() {
 	}
 }
 
-// ovScenario is one row of the overlap study and one entry of its JSON
-// artifact.
-type ovScenario struct {
-	Scenario string  `json:"scenario"`
-	Ranks    int     `json:"ranks"`
-	Makespan float64 `json:"makespan_s"`
-	MPIFrac  float64 `json:"mpi_frac"`
-	// HiddenSeconds is the modeled exchange time that completed behind
-	// interior compute, summed over ranks (overlap rows only).
-	HiddenSeconds float64 `json:"hidden_seconds,omitempty"`
-	// InteriorElems / BoundaryElems describe rank 0's element split.
-	InteriorElems int `json:"interior_elems,omitempty"`
-	BoundaryElems int `json:"boundary_elems,omitempty"`
-	// ReductionVsBlocking is this row's modeled makespan reduction
-	// against the blocking-exchange run.
-	ReductionVsBlocking float64 `json:"reduction_vs_blocking"`
-}
-
-// overlapStudy measures the split-phase exchange against the blocking
-// baseline on a communication-bound configuration: enough local elements
-// that every rank holds an interior set, under the selected network
-// model. The overlap row's makespan reduction is the optimization's win;
-// results are bit-identical by construction (the solver's overlap tests
-// pin that), so this is purely a modeled-time measurement.
+// overlapStudy runs the split-phase-vs-blocking study (the measurement
+// core lives in internal/bench so benchdiff re-runs the identical
+// configuration) and prints its table. The JSON artifact is a
+// schema-versioned report.Trajectory carrying critical-path summaries,
+// usable directly as a benchdiff baseline.
 func overlapStudy(nGLL int, model netmodel.Model, jsonPath string) {
-	const np, localElems, steps = 8, 3, 8
-
-	run := func(overlap bool) ovScenario {
-		cfg := solver.DefaultConfig(np, nGLL, localElems)
-		cfg.Overlap = overlap
-		cfg.Workers = workers
-		if cfg.Workers == 0 {
-			cfg.Workers = pool.DefaultWorkers(np)
-		}
-		interior := 0
-		stats, err := comm.Run(np, cfg.CommOptions(model), func(r *comm.Rank) error {
-			s, err := solver.New(r, cfg)
-			if err != nil {
-				return err
-			}
-			defer s.Close()
-			if r.ID() == 0 {
-				interior = s.InteriorElems()
-			}
-			s.SetInitial(solver.GaussianPulse(
-				float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
-				0.1, 0.5))
-			s.Run(steps)
-			return nil
-		})
-		if err != nil {
-			log.Fatalf("overlap study: %v", err)
-		}
-		mpi := 0.0
-		for _, f := range stats.RankMPIFractions() {
-			mpi += f.FracModeled()
-		}
-		out := ovScenario{Ranks: np, Makespan: stats.MaxVirtualTime(), MPIFrac: mpi / np}
-		if overlap {
-			out.HiddenSeconds = stats.TotalOverlapHidden()
-			out.InteriorElems = interior
-			out.BoundaryElems = localElems*localElems*localElems - interior
-		}
-		return out
-	}
-
-	blocking := run(false)
-	blocking.Scenario = "blocking"
-	split := run(true)
-	split.Scenario = "overlap"
-	scenarios := []ovScenario{blocking, split}
-	for i := range scenarios {
-		scenarios[i].ReductionVsBlocking = 1 - scenarios[i].Makespan/blocking.Makespan
+	res, err := bench.OverlapStudy(bench.OverlapOptions{
+		N: nGLL, Workers: workers, Trace: true, Net: model, NetSet: true,
+	})
+	if err != nil {
+		log.Fatalf("overlap study: %v", err)
 	}
 
 	fmt.Printf("\noverlap scenario (%d ranks, %d^3 elements/rank, N=%d, %d steps, network %s):\n\n",
-		np, localElems, nGLL, steps, model.Name)
+		res.Scenarios[0].Ranks, res.LocalElems, res.N, res.Steps, res.Net)
 	fmt.Printf("%-10s %7s %15s %9s %13s %14s %12s\n",
 		"scenario", "ranks", "makespan (s)", "MPI %", "hidden (s)", "interior/bnd", "vs blocking")
-	for _, s := range scenarios {
+	for _, s := range res.Scenarios {
 		fmt.Printf("%-10s %7d %15.6f %8.2f%% %13.6f %8d/%-5d %11.1f%%\n",
 			s.Scenario, s.Ranks, s.Makespan, 100*s.MPIFrac, s.HiddenSeconds,
 			s.InteriorElems, s.BoundaryElems, 100*s.ReductionVsBlocking)
 	}
 
 	if jsonPath != "" {
-		doc := struct {
-			N          int          `json:"n"`
-			LocalElems int          `json:"local_elems_per_dir"`
-			Steps      int          `json:"steps"`
-			Net        string       `json:"net"`
-			Scenarios  []ovScenario `json:"scenarios"`
-		}{nGLL, localElems, steps, model.Name, scenarios}
-		buf, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
+		if err := report.New(res.Results()).WriteFile(jsonPath); err != nil {
 			log.Fatalf("-overlap-json: %v", err)
 		}
-		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
-			log.Fatalf("-overlap-json: %v", err)
-		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		fmt.Printf("\nwrote %s (schema v%d)\n", jsonPath, report.SchemaVersion)
 	}
 }
 
-// lbScenario is one row of the skewed-load study and one entry of its
-// JSON artifact.
-type lbScenario struct {
-	Scenario        string  `json:"scenario"`
-	Ranks           int     `json:"ranks"`
-	Makespan        float64 `json:"makespan_s"`
-	MPIFrac         float64 `json:"mpi_frac"`
-	ImbalanceBefore float64 `json:"imbalance_before,omitempty"`
-	ImbalanceAfter  float64 `json:"imbalance_after,omitempty"`
-	Rebalances      int     `json:"rebalances,omitempty"`
-	MigratedElems   int     `json:"migrated_elems,omitempty"`
-	// ReductionVsSkewed is this scenario's makespan reduction against
-	// the static skewed run (the acceptance metric of the loadbal
-	// subsystem: >= 0.25 for skewed+loadbal).
-	ReductionVsSkewed float64 `json:"reduction_vs_skewed"`
-}
-
-// loadbalStudy measures the dynamic load balancer against a one-hot-rank
-// cost skew: a balanced run (the floor), the same skew with the static
-// partition (the ceiling), and the skew with the balancer on. The third
-// row's makespan reduction against the second is the subsystem's win.
+// loadbalStudy runs the skewed-load study (measurement core in
+// internal/bench, shared with benchdiff) and prints its table. The JSON
+// artifact is a schema-versioned report.Trajectory with critical-path
+// summaries attached.
 func loadbalStudy(nGLL int, model netmodel.Model, lbCfg loadbal.Config, jsonPath string) {
-	const np, localElems, hotRank, hotFactor, steps = 8, 2, 3, 4.0, 12
-
-	base := solver.DefaultConfig(np, nGLL, localElems)
-	box, err := base.Mesh()
+	res, err := bench.LoadbalStudy(bench.LoadbalOptions{
+		N: nGLL, Workers: workers, Threshold: lbCfg.Threshold, Every: lbCfg.Every,
+		Trace: true, Net: model, NetSet: true,
+	})
 	if err != nil {
 		log.Fatalf("loadbal study: %v", err)
 	}
-	hot := make(map[int64]float64)
-	for _, gid := range box.Partition(hotRank).GIDs() {
-		hot[gid] = hotFactor
-	}
-
-	run := func(hotElems map[int64]float64, balance bool) lbScenario {
-		cfg := base
-		cfg.HotElems = hotElems
-		cfg.Workers = workers
-		if cfg.Workers == 0 {
-			cfg.Workers = pool.DefaultWorkers(np)
-		}
-		reg := obs.NewRegistry()
-		balancers := make([]*loadbal.Balancer, np)
-		stats, err := comm.Run(np, cfg.CommOptions(model), func(r *comm.Rank) error {
-			s, err := solver.New(r, cfg)
-			if err != nil {
-				return err
-			}
-			defer s.Close()
-			s.SetInitial(solver.GaussianPulse(
-				float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
-				0.1, 0.5))
-			var after func(int)
-			if balance {
-				b := loadbal.New(s, nil, reg, lbCfg)
-				balancers[r.ID()] = b
-				after = b.AfterStep
-			}
-			s.RunWith(steps, after)
-			return nil
-		})
-		if err != nil {
-			log.Fatalf("loadbal study: %v", err)
-		}
-		mpi := 0.0
-		for _, f := range stats.RankMPIFractions() {
-			mpi += f.FracModeled()
-		}
-		out := lbScenario{Ranks: np, Makespan: stats.MaxVirtualTime(), MPIFrac: mpi / np}
-		if balance {
-			out.ImbalanceBefore = reg.Gauge("loadbal_imbalance_before").Value()
-			out.ImbalanceAfter = reg.Gauge("loadbal_imbalance_after").Value()
-			out.Rebalances = balancers[0].Rebalances
-			out.MigratedElems = int(reg.Counter("loadbal_migrated_elems").Value())
-		}
-		return out
-	}
-
-	scenarios := []lbScenario{}
-	balanced := run(nil, false)
-	balanced.Scenario = "balanced"
-	skewed := run(hot, false)
-	skewed.Scenario = "skewed"
-	rebal := run(hot, true)
-	rebal.Scenario = "skewed+loadbal"
-	for _, s := range []*lbScenario{&balanced, &skewed, &rebal} {
-		s.ReductionVsSkewed = 1 - s.Makespan/skewed.Makespan
-		scenarios = append(scenarios, *s)
-	}
 
 	fmt.Printf("\nskewed-load scenario (rank %d elements %gx, N=%d, %d steps, rebalance every %d, threshold %.2f):\n\n",
-		hotRank, hotFactor, nGLL, steps, lbCfg.Every, lbCfg.Threshold)
+		res.HotRank, res.HotFactor, res.N, res.Steps, res.Every, res.Threshold)
 	fmt.Printf("%-15s %7s %15s %9s %12s %11s %11s\n",
 		"scenario", "ranks", "makespan (s)", "MPI %", "rebalances", "elems moved", "vs skewed")
-	for _, s := range scenarios {
+	for _, s := range res.Scenarios {
 		fmt.Printf("%-15s %7d %15.6f %8.2f%% %12d %11d %10.1f%%\n",
 			s.Scenario, s.Ranks, s.Makespan, 100*s.MPIFrac, s.Rebalances, s.MigratedElems,
 			100*s.ReductionVsSkewed)
 	}
 
 	if jsonPath != "" {
-		doc := struct {
-			N         int          `json:"n"`
-			Steps     int          `json:"steps"`
-			Net       string       `json:"net"`
-			HotRank   int          `json:"hot_rank"`
-			HotFactor float64      `json:"hot_factor"`
-			Threshold float64      `json:"imbalance_threshold"`
-			Every     int          `json:"rebalance_every"`
-			Scenarios []lbScenario `json:"scenarios"`
-		}{nGLL, steps, model.Name, hotRank, hotFactor, lbCfg.Threshold, lbCfg.Every, scenarios}
-		buf, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
+		if err := report.New(res.Results()).WriteFile(jsonPath); err != nil {
 			log.Fatalf("-loadbal-json: %v", err)
 		}
-		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
-			log.Fatalf("-loadbal-json: %v", err)
-		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		fmt.Printf("\nwrote %s (schema v%d)\n", jsonPath, report.SchemaVersion)
 	}
 }
 

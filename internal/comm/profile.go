@@ -115,19 +115,23 @@ func (p *Profile) Totals() OpTotals {
 }
 
 // MPIWall returns total host wall seconds spent inside MPI operations.
+// Summation follows call-site insertion order (not map order) so the
+// float result is reproducible across runs.
 func (p *Profile) MPIWall() float64 {
 	t := 0.0
-	for _, s := range p.stats {
-		t += s.Wall
+	for _, k := range p.order {
+		t += p.stats[k].Wall
 	}
 	return t
 }
 
 // MPIModeled returns total modeled network seconds across MPI operations.
+// Summation follows call-site insertion order (not map order) so the
+// float result is reproducible across runs.
 func (p *Profile) MPIModeled() float64 {
 	t := 0.0
-	for _, s := range p.stats {
-		t += s.Modeled
+	for _, k := range p.order {
+		t += p.stats[k].Modeled
 	}
 	return t
 }

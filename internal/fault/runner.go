@@ -113,7 +113,19 @@ func ckptTag(step int) string { return fmt.Sprintf("auto-%06d", step) }
 // Run advances steps timesteps under the fault scenario and returns the
 // final report. On ranks scheduled to crash it never returns: the rank
 // unwinds via comm.Rank.Kill and comm.Run records it in Stats.Killed.
-func (rn *Runner) Run(steps int) (solver.Report, error) {
+// On any abnormal exit — the kill panic, an unexpected panic, or an
+// error return — the shared step-metrics stream is synced first, so
+// records sealed before the failure survive in the output file.
+func (rn *Runner) Run(steps int) (rep solver.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rn.s.Cfg.Steps.Sync()
+			panic(p)
+		}
+		if err != nil {
+			rn.s.Cfg.Steps.Sync()
+		}
+	}()
 	var dt float64
 	for i := 0; i < steps; i++ {
 		rn.stall(i)

@@ -112,11 +112,80 @@ type Clock struct {
 	// begin/finish pair, min(compute until finish, time to last arrival),
 	// the part of the wire time that did not extend the critical path.
 	overlapHidden float64
+
+	// Per-phase accounting: every advance of the clock is attributed to
+	// the currently pushed phase label (""), so post-hoc analysis can
+	// split a rank's modeled time into compute/wait/send per application
+	// phase without re-deriving it from spans. Accounting never changes
+	// `now`: modeled results are bit-identical with or without phases
+	// pushed.
+	phase  string
+	splits map[string]*PhaseSplit
+	cur    *PhaseSplit // cached splits[phase]
 }
+
+// PhaseSplit is the modeled-time split of one accounting phase on one
+// rank. Compute covers Advance/AdvanceCompute, Wait covers the blocked
+// share of WaitUntil, and Send covers the sender-side injection overhead
+// charged by SendStamp. The splits of all phases sum exactly to the
+// clock's Now.
+type PhaseSplit struct {
+	Compute float64
+	Wait    float64
+	Send    float64
+}
+
+// Total returns the phase's total modeled seconds.
+func (p PhaseSplit) Total() float64 { return p.Compute + p.Wait + p.Send }
 
 // NewClock returns a clock at time zero running under model m.
 func NewClock(m Model) *Clock {
 	return &Clock{model: m, speed: 1}
+}
+
+// split returns the accumulator of the current phase, creating it on
+// first charge.
+func (c *Clock) split() *PhaseSplit {
+	if c.cur == nil {
+		if c.splits == nil {
+			c.splits = make(map[string]*PhaseSplit)
+		}
+		s := c.splits[c.phase]
+		if s == nil {
+			s = &PhaseSplit{}
+			c.splits[c.phase] = s
+		}
+		c.cur = s
+	}
+	return c.cur
+}
+
+// PushPhase switches the accounting phase and returns the closure that
+// restores the previous one; nest pushes like spans. The empty name is a
+// no-op (keep the enclosing phase), so callers can pass an unmapped
+// label through without special-casing.
+func (c *Clock) PushPhase(name string) func() {
+	if name == "" {
+		return func() {}
+	}
+	prevPhase, prevCur := c.phase, c.cur
+	c.phase, c.cur = name, nil
+	return func() { c.phase, c.cur = prevPhase, prevCur }
+}
+
+// Phase returns the current accounting phase label ("" outside any).
+func (c *Clock) Phase() string { return c.phase }
+
+// PhaseSplits returns a copy of the per-phase modeled-time splits
+// accumulated so far. The sum of all Totals equals Now exactly (same
+// additions, same order), which is the self-check the critical-path
+// engine runs against span-derived attribution.
+func (c *Clock) PhaseSplits() map[string]PhaseSplit {
+	out := make(map[string]PhaseSplit, len(c.splits))
+	for name, s := range c.splits {
+		out[name] = *s
+	}
+	return out
 }
 
 // SetComputeFactor scales all subsequent compute advances: 1 is the
@@ -140,7 +209,9 @@ func (c *Clock) Now() float64 { return c.now }
 // host wall time.
 func (c *Clock) AdvanceCompute(wall float64) {
 	if wall > 0 {
-		c.now += wall * c.model.GammaCompute * c.speed
+		dt := wall * c.model.GammaCompute * c.speed
+		c.now += dt
+		c.split().Compute += dt
 	}
 }
 
@@ -148,7 +219,9 @@ func (c *Clock) AdvanceCompute(wall float64) {
 // the rank's compute factor.
 func (c *Clock) Advance(dt float64) {
 	if dt > 0 {
-		c.now += dt * c.speed
+		d := dt * c.speed
+		c.now += d
+		c.split().Compute += d
 	}
 }
 
@@ -158,7 +231,9 @@ func (c *Clock) Advance(dt float64) {
 // per-byte gap); the remainder overlaps with further progress.
 func (c *Clock) SendStamp(size, hops int) float64 {
 	arrival := c.now + c.model.Cost(size, hops)
-	c.now += c.model.Alpha + c.model.InjectionFactor*c.model.Beta*float64(size)
+	overhead := c.model.Alpha + c.model.InjectionFactor*c.model.Beta*float64(size)
+	c.now += overhead
+	c.split().Send += overhead
 	return arrival
 }
 
@@ -170,6 +245,7 @@ func (c *Clock) WaitUntil(t float64) float64 {
 	}
 	wait := t - c.now
 	c.now = t
+	c.split().Wait += wait
 	return wait
 }
 

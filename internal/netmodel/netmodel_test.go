@@ -176,3 +176,73 @@ func TestInjectionFactorStallsSender(t *testing.T) {
 		t.Fatalf("sender stall = %v, want %v", c2.Now(), want)
 	}
 }
+
+func TestPhaseAccountingSumsToNow(t *testing.T) {
+	c := NewClock(GigE)
+	// Nested phases interleaved with every kind of clock mutation.
+	pop := c.PushPhase("rhs")
+	c.AdvanceCompute(1e-3)
+	c.Advance(2e-4)
+	inner := c.PushPhase("gs-exchange")
+	arrival := c.SendStamp(4096, 2)
+	c.WaitUntil(arrival)
+	inner()
+	if c.Phase() != "rhs" {
+		t.Fatalf("phase after pop = %q, want rhs", c.Phase())
+	}
+	c.Advance(5e-5)
+	pop()
+	// Charges outside any phase land in the "" bucket.
+	c.AdvanceCompute(3e-4)
+	c.WaitUntil(c.Now()) // no-op wait charges nothing
+
+	var sum float64
+	for _, s := range c.PhaseSplits() {
+		sum += s.Total()
+	}
+	if sum != c.Now() {
+		t.Fatalf("sum of phase splits = %v, Now = %v (must be exact)", sum, c.Now())
+	}
+	sp := c.PhaseSplits()
+	if sp["gs-exchange"].Wait == 0 || sp["gs-exchange"].Send == 0 {
+		t.Fatalf("gs-exchange should have wait and send time: %+v", sp["gs-exchange"])
+	}
+	if sp["rhs"].Compute == 0 || sp["rhs"].Wait != 0 {
+		t.Fatalf("rhs should be compute-only: %+v", sp["rhs"])
+	}
+	if sp[""].Compute == 0 {
+		t.Fatalf("out-of-phase compute should land in \"\": %+v", sp[""])
+	}
+}
+
+func TestPushPhaseEmptyKeepsEnclosing(t *testing.T) {
+	c := NewClock(Loopback)
+	pop := c.PushPhase("rk")
+	noop := c.PushPhase("")
+	c.Advance(1e-6)
+	noop()
+	pop()
+	if got := c.PhaseSplits()["rk"].Compute; got == 0 {
+		t.Fatalf("empty push must keep enclosing phase, rk.Compute = %v", got)
+	}
+}
+
+func TestPhaseAccountingDoesNotPerturbClock(t *testing.T) {
+	run := func(withPhases bool) float64 {
+		c := NewClock(QDR)
+		var pop func()
+		if withPhases {
+			pop = c.PushPhase("rhs")
+		}
+		c.AdvanceCompute(1e-3)
+		a := c.SendStamp(1<<16, 3)
+		c.WaitUntil(a)
+		if withPhases {
+			pop()
+		}
+		return c.Now()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("phase accounting changed the clock: %v vs %v", a, b)
+	}
+}

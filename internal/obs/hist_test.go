@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Quantile's documented accuracy bound: the estimate is off by at most
+// the width of the bucket holding the target rank. Observe a known
+// uniform population and check every decile against the exact value.
+func TestHistogramQuantileAccuracyBounds(t *testing.T) {
+	bounds := []float64{10, 25, 50, 100, 250, 500, 1000}
+	h := newHistogram(bounds)
+	// Uniform 1..1000: the exact q-quantile is q*1000.
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	width := func(x float64) float64 {
+		lo := 0.0
+		for _, b := range bounds {
+			if x <= b {
+				return b - lo
+			}
+			lo = b
+		}
+		return math.Inf(1)
+	}
+	for q := 0.1; q < 0.95; q += 0.1 {
+		exact := q * 1000
+		got := h.Quantile(q)
+		if err := math.Abs(got - exact); err > width(exact) {
+			t.Errorf("Quantile(%.1f) = %v, exact %v: error %v exceeds bucket width %v",
+				q, got, exact, err, width(exact))
+		}
+	}
+	// Boundary exactness: with all mass at or below a bound, the
+	// quantile of that rank lands on the bound itself.
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %v, want the top bound 1000", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-500) > width(500) {
+		t.Errorf("median = %v, want within a bucket of 500", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	// Overflow-only mass: nothing to interpolate toward, so the top
+	// bound is the (under-)estimate.
+	h.Observe(100)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("overflow-bucket Quantile = %v, want top bound 10", got)
+	}
+	// Clamping.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+	// No buckets at all: degenerate to the mean.
+	m := newHistogram(nil)
+	m.Observe(3)
+	m.Observe(5)
+	if got := m.Quantile(0.5); got != 4 {
+		t.Errorf("bucketless Quantile = %v, want mean 4", got)
+	}
+}
+
+// Concurrent observers and readers must not race (run under -race) and
+// must not lose observations.
+func TestHistogramConcurrentUpdates(t *testing.T) {
+	const writers, perWriter = 8, 1000
+	h := newHistogram(MsgSizeBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64((seed*perWriter + i) % 4096))
+			}
+		}(w)
+	}
+	// Readers race the writers across every accessor.
+	done := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					h.Quantile(0.99)
+					h.Count()
+					h.Sum()
+					h.snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	rg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("lost observations: count = %d, want %d", got, writers*perWriter)
+	}
+	var n int64
+	for _, b := range h.snapshot().Buckets {
+		n += b.N
+	}
+	if n != writers*perWriter {
+		t.Fatalf("bucket counts sum to %d, want %d", n, writers*perWriter)
+	}
+}

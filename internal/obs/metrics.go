@@ -186,6 +186,51 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (q in [0,1], clamped) by linear
+// interpolation inside the bucket holding the target rank, so the
+// error is bounded by that bucket's width. The first bucket's lower
+// edge is taken as 0 when its bound is positive (observations are
+// sizes and durations here); an estimate landing in the overflow
+// bucket returns the highest bound — the histogram carries no upper
+// edge to interpolate toward. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if len(h.bounds) == 0 {
+		return h.sum / float64(h.n)
+	}
+	target := q * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next < target || c == 0 {
+			cum = next
+			continue
+		}
+		if i >= len(h.bounds) {
+			break // overflow bucket
+		}
+		hi := h.bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		} else if hi <= 0 {
+			lo = hi
+		}
+		return lo + (hi-lo)*(target-cum)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // HistBucket is one bucket of a histogram snapshot: the count of
 // observations <= Le. Le is rendered as a string ("+Inf" for the
 // overflow bucket) because JSON cannot carry infinities.

@@ -64,6 +64,12 @@ type Flow struct {
 	Bytes    int64
 	SendVT   float64
 	ArriveVT float64
+	// SendWall is the wall-clock second (since Tracer creation) at which
+	// the message was recorded on the send side. The in-process transport
+	// has no meaningful wall-clock wire time, so this single stamp is the
+	// flow's position in the wall domain (critical-path analysis uses it
+	// to jump rank timelines when walking wall time).
+	SendWall float64
 	Site     string
 }
 
@@ -121,9 +127,13 @@ func (t *Tracer) addSpan(s Span) {
 }
 
 // AddFlow records one wire-level message (normally via CommTracer).
+// The wall-domain stamp is filled in here if the caller left it zero.
 func (t *Tracer) AddFlow(f Flow) {
 	if t == nil {
 		return
+	}
+	if f.SendWall == 0 {
+		f.SendWall = time.Since(t.epoch).Seconds()
 	}
 	t.mu.Lock()
 	if len(t.flows) >= t.limit() {

@@ -144,6 +144,23 @@ func (c *StepCollector) Rollback(step, live int) {
 	}
 }
 
+// Sync writes already-sealed records through to the underlying writer
+// without finalizing the stream: unlike Flush it does not treat
+// partially assembled steps as an error, so an aborting rank (a
+// fault-scenario kill or panic unwinding mid-run) can call it to make
+// the stream durable up to the last complete step. A later Flush still
+// reports the incomplete steps.
+func (c *StepCollector) Sync() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
 // Flush writes out buffered records and returns the first write or
 // marshal error, plus how many records were sealed. Call it after the
 // run completes.

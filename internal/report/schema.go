@@ -1,0 +1,288 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/obs/critpath"
+)
+
+// SchemaVersion is the current version of the unified bench-result
+// schema. Decoders accept every older committed format (the v0
+// kernelbench record array and the v0 scalebench study documents), so
+// baselines never have to be rewritten when the schema moves.
+const SchemaVersion = 1
+
+// Metric is one named scalar measurement with its comparison semantics.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"` // "s", "gflop/s", "frac", "bytes", "allocs/op", "x"
+	// Deterministic marks modeled values that are bit-reproducible on
+	// any host (virtual-clock makespans, modeled fractions, counts).
+	// benchdiff gates these tightly; non-deterministic (wall-clock)
+	// metrics get repetition-based noise bounds instead.
+	Deterministic bool `json:"deterministic,omitempty"`
+	// LessIsBetter orients regression detection: true for times and
+	// fractions, false for throughput and speedups.
+	LessIsBetter bool `json:"less_is_better,omitempty"`
+}
+
+// BenchResult is one scenario of one bench suite: a named point in
+// configuration space with its measured metrics and, when the run was
+// traced, its critical-path digest.
+type BenchResult struct {
+	// Suite names the producing benchmark family: "kernelbench",
+	// "scalebench-loadbal", "scalebench-overlap", "allocs".
+	Suite string `json:"suite"`
+	// Scenario identifies the point within the suite, e.g.
+	// "skewed+loadbal" or "dudr/workers=1".
+	Scenario string `json:"scenario"`
+	// Params records the configuration knobs that produced the result.
+	Params map[string]string `json:"params,omitempty"`
+	// Metrics are the measurements, ordered as produced.
+	Metrics []Metric `json:"metrics"`
+	// Critpath, when present, is the run's critical-path attribution —
+	// what benchdiff blames a regression on.
+	Critpath *critpath.Summary `json:"critpath,omitempty"`
+}
+
+// Metric returns the named metric and whether it exists.
+func (r *BenchResult) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Key identifies a result across runs for diffing.
+func (r *BenchResult) Key() string { return r.Suite + "/" + r.Scenario }
+
+// Host describes the machine a trajectory was recorded on; wall-clock
+// comparisons across differing hosts are noise, and benchdiff says so.
+type Host struct {
+	NumCPU int    `json:"num_cpu"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+}
+
+// Trajectory is the unified, versioned container every bench command
+// writes and benchdiff consumes: one file per recorded point in time.
+type Trajectory struct {
+	SchemaVersion int           `json:"schema_version"`
+	CreatedAt     string        `json:"created_at,omitempty"`
+	Host          Host          `json:"host"`
+	Results       []BenchResult `json:"results"`
+}
+
+// New returns a current-schema trajectory stamped with this host and
+// time, holding the given results.
+func New(results []BenchResult) *Trajectory {
+	return &Trajectory{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Host:          Host{NumCPU: runtime.NumCPU(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH},
+		Results:       results,
+	}
+}
+
+// Find returns the result with the given key, or nil.
+func (t *Trajectory) Find(key string) *BenchResult {
+	for i := range t.Results {
+		if t.Results[i].Key() == key {
+			return &t.Results[i]
+		}
+	}
+	return nil
+}
+
+// Keys lists every result key, sorted.
+func (t *Trajectory) Keys() []string {
+	ks := make([]string, 0, len(t.Results))
+	for i := range t.Results {
+		ks = append(ks, t.Results[i].Key())
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteFile writes the trajectory as indented JSON.
+func (t *Trajectory) WriteFile(path string) error {
+	if t.SchemaVersion == 0 {
+		t.SchemaVersion = SchemaVersion
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadTrajectory loads a bench-result file in any supported format:
+// the current schema (by schema_version), or one of the v0 formats the
+// repo's committed BENCH_*.json baselines use — the kernelbench record
+// array, and the scalebench loadbal/overlap study documents.
+func ReadTrajectory(path string) (*Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := DecodeTrajectory(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// DecodeTrajectory decodes bench results from any supported format.
+func DecodeTrajectory(buf []byte) (*Trajectory, error) {
+	// Current format: an object carrying schema_version.
+	var probe struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(buf, &probe); err == nil && probe.SchemaVersion != nil {
+		v := *probe.SchemaVersion
+		if v > SchemaVersion {
+			return nil, fmt.Errorf("schema_version %d is newer than this build supports (%d)", v, SchemaVersion)
+		}
+		var t Trajectory
+		if err := json.Unmarshal(buf, &t); err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+	// v0 kernelbench: a bare array of worker-sweep records.
+	var recs []v0SweepRecord
+	if err := json.Unmarshal(buf, &recs); err == nil && len(recs) > 0 && recs[0].Bench != "" {
+		return fromV0Sweep(recs), nil
+	}
+	// v0 scalebench studies: objects distinguished by their knobs.
+	var lb v0Loadbal
+	if err := json.Unmarshal(buf, &lb); err == nil && lb.HotRank != nil && len(lb.Scenarios) > 0 {
+		return fromV0Loadbal(lb), nil
+	}
+	var ov v0Overlap
+	if err := json.Unmarshal(buf, &ov); err == nil && ov.LocalElems != nil && len(ov.Scenarios) > 0 {
+		return fromV0Overlap(ov), nil
+	}
+	return nil, fmt.Errorf("unrecognized bench result format")
+}
+
+// --- v0 formats (the committed baselines) ---
+
+type v0SweepRecord struct {
+	Bench   string  `json:"bench"`
+	N       int     `json:"n"`
+	Nel     int     `json:"nel"`
+	Steps   int     `json:"steps"`
+	Dir     string  `json:"dir"`
+	Variant string  `json:"variant"`
+	Workers int     `json:"workers"`
+	Wall    float64 `json:"wall_seconds"`
+	Gflops  float64 `json:"gflops_per_sec"`
+	Speedup float64 `json:"speedup_vs_serial"`
+	NumCPU  int     `json:"num_cpu"`
+}
+
+func fromV0Sweep(recs []v0SweepRecord) *Trajectory {
+	t := &Trajectory{SchemaVersion: 0, Host: Host{NumCPU: recs[0].NumCPU}}
+	for _, r := range recs {
+		t.Results = append(t.Results, BenchResult{
+			Suite:    "kernelbench",
+			Scenario: fmt.Sprintf("%s/%s/workers=%d", r.Dir, r.Variant, r.Workers),
+			Params: map[string]string{
+				"n": fmt.Sprint(r.N), "nel": fmt.Sprint(r.Nel), "steps": fmt.Sprint(r.Steps),
+			},
+			Metrics: []Metric{
+				{Name: "wall_seconds", Value: r.Wall, Unit: "s", LessIsBetter: true},
+				{Name: "gflops_per_sec", Value: r.Gflops, Unit: "gflop/s"},
+				{Name: "speedup_vs_serial", Value: r.Speedup, Unit: "x"},
+			},
+		})
+	}
+	return t
+}
+
+type v0LBScenario struct {
+	Scenario          string  `json:"scenario"`
+	Ranks             int     `json:"ranks"`
+	Makespan          float64 `json:"makespan_s"`
+	MPIFrac           float64 `json:"mpi_frac"`
+	Rebalances        int     `json:"rebalances"`
+	MigratedElems     int     `json:"migrated_elems"`
+	ReductionVsSkewed float64 `json:"reduction_vs_skewed"`
+}
+
+type v0Loadbal struct {
+	N         int            `json:"n"`
+	Steps     int            `json:"steps"`
+	Net       string         `json:"net"`
+	HotRank   *int           `json:"hot_rank"`
+	HotFactor float64        `json:"hot_factor"`
+	Threshold float64        `json:"imbalance_threshold"`
+	Every     int            `json:"rebalance_every"`
+	Scenarios []v0LBScenario `json:"scenarios"`
+}
+
+func fromV0Loadbal(d v0Loadbal) *Trajectory {
+	t := &Trajectory{SchemaVersion: 0}
+	for _, s := range d.Scenarios {
+		t.Results = append(t.Results, BenchResult{
+			Suite:    "scalebench-loadbal",
+			Scenario: s.Scenario,
+			Params: map[string]string{
+				"n": fmt.Sprint(d.N), "steps": fmt.Sprint(d.Steps), "net": d.Net,
+				"hot_rank": fmt.Sprint(*d.HotRank), "hot_factor": fmt.Sprint(d.HotFactor),
+			},
+			Metrics: []Metric{
+				{Name: "makespan_s", Value: s.Makespan, Unit: "s", Deterministic: true, LessIsBetter: true},
+				{Name: "mpi_frac", Value: s.MPIFrac, Unit: "frac", Deterministic: true, LessIsBetter: true},
+				{Name: "reduction_vs_skewed", Value: s.ReductionVsSkewed, Unit: "frac"},
+			},
+		})
+	}
+	return t
+}
+
+type v0OVScenario struct {
+	Scenario            string  `json:"scenario"`
+	Ranks               int     `json:"ranks"`
+	Makespan            float64 `json:"makespan_s"`
+	MPIFrac             float64 `json:"mpi_frac"`
+	HiddenSeconds       float64 `json:"hidden_seconds"`
+	ReductionVsBlocking float64 `json:"reduction_vs_blocking"`
+}
+
+type v0Overlap struct {
+	N          int            `json:"n"`
+	LocalElems *int           `json:"local_elems_per_dir"`
+	Steps      int            `json:"steps"`
+	Net        string         `json:"net"`
+	Scenarios  []v0OVScenario `json:"scenarios"`
+}
+
+func fromV0Overlap(d v0Overlap) *Trajectory {
+	t := &Trajectory{SchemaVersion: 0}
+	for _, s := range d.Scenarios {
+		t.Results = append(t.Results, BenchResult{
+			Suite:    "scalebench-overlap",
+			Scenario: s.Scenario,
+			Params: map[string]string{
+				"n": fmt.Sprint(d.N), "steps": fmt.Sprint(d.Steps), "net": d.Net,
+				"local_elems_per_dir": fmt.Sprint(*d.LocalElems),
+			},
+			Metrics: []Metric{
+				{Name: "makespan_s", Value: s.Makespan, Unit: "s", Deterministic: true, LessIsBetter: true},
+				{Name: "mpi_frac", Value: s.MPIFrac, Unit: "frac", Deterministic: true, LessIsBetter: true},
+				{Name: "reduction_vs_blocking", Value: s.ReductionVsBlocking, Unit: "frac"},
+			},
+		})
+	}
+	return t
+}

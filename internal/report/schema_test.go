@@ -1,0 +1,89 @@
+package report
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	tr := &Trajectory{
+		SchemaVersion: SchemaVersion,
+		Host:          Host{NumCPU: 8, GOOS: "linux", GOARCH: "amd64"},
+		Results: []BenchResult{{
+			Suite: "scalebench-loadbal", Scenario: "skewed",
+			Params: map[string]string{"n": "5"},
+			Metrics: []Metric{
+				{Name: "makespan_s", Value: 0.04, Unit: "s", Deterministic: true, LessIsBetter: true},
+			},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "traj.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || len(got.Results) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	r := got.Find("scalebench-loadbal/skewed")
+	if r == nil {
+		t.Fatal("Find failed after round trip")
+	}
+	m, ok := r.Metric("makespan_s")
+	if !ok || m.Value != 0.04 || !m.Deterministic || !m.LessIsBetter {
+		t.Fatalf("metric = %+v ok=%v", m, ok)
+	}
+}
+
+func TestDecodeNewerVersionRejected(t *testing.T) {
+	buf := []byte(`{"schema_version": 99, "results": []}`)
+	if _, err := DecodeTrajectory(buf); err == nil {
+		t.Fatal("newer schema_version must be rejected, not silently misread")
+	}
+}
+
+func TestDecodeGarbageRejected(t *testing.T) {
+	if _, err := DecodeTrajectory([]byte(`{"pizzas": 3}`)); err == nil {
+		t.Fatal("unrecognized format must error")
+	}
+}
+
+// The committed v0 baselines must keep decoding forever: they are the
+// regression reference benchdiff compares fresh runs against.
+func TestDecodeCommittedV0Baselines(t *testing.T) {
+	_, thisFile, _, _ := runtime.Caller(0)
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+	cases := []struct {
+		file  string
+		suite string
+		nRes  int
+	}{
+		{"BENCH_workers_baseline.json", "kernelbench", 3},
+		{"BENCH_loadbal_baseline.json", "scalebench-loadbal", 3},
+		{"BENCH_overlap_baseline.json", "scalebench-overlap", 2},
+	}
+	for _, c := range cases {
+		tr, err := ReadTrajectory(filepath.Join(root, c.file))
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if tr.SchemaVersion != 0 {
+			t.Fatalf("%s: v0 baseline decoded as schema %d", c.file, tr.SchemaVersion)
+		}
+		if len(tr.Results) != c.nRes {
+			t.Fatalf("%s: %d results, want %d", c.file, len(tr.Results), c.nRes)
+		}
+		for _, r := range tr.Results {
+			if r.Suite != c.suite {
+				t.Fatalf("%s: suite %q, want %q", c.file, r.Suite, c.suite)
+			}
+			if len(r.Metrics) == 0 {
+				t.Fatalf("%s: result %s has no metrics", c.file, r.Key())
+			}
+		}
+	}
+}

@@ -267,18 +267,26 @@ func (s *Solver) setupGS() {
 }
 
 // span opens both a profiler region and a telemetry span under the same
-// name, returning the closure ending both. Close it after the kernel's
-// chargeCompute so the span's virtual-time extent covers the modeled
-// cost of the work.
+// name — and pushes the matching accounting phase on the rank's virtual
+// clock, so every modeled advance inside the region is attributed to its
+// application phase (always on; the clock's `now` is untouched, so
+// results are bit-identical). Returns the closure ending all three.
+// Close it after the kernel's chargeCompute so the span's virtual-time
+// extent covers the modeled cost of the work.
 func (s *Solver) span(name string, cat obs.Category) func() {
+	popPhase := s.Rank.Clock().PushPhase(obs.PhaseOf(name, cat))
 	stopProf := s.Prof.Start(name)
 	if s.rt == nil {
-		return stopProf
+		return func() {
+			stopProf()
+			popPhase()
+		}
 	}
 	stopSpan := s.rt.Span(name, cat)
 	return func() {
 		stopProf()
 		stopSpan()
+		popPhase()
 	}
 }
 

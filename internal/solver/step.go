@@ -12,6 +12,7 @@ import (
 // Lax-Friedrichs dissipation coefficient and the CFL speed. Collective
 // (allreduce max, one of the mini-app's vector reductions).
 func (s *Solver) MaxWaveSpeed() float64 {
+	popPhase := s.Rank.Clock().PushPhase(obs.PhaseOf("wave_speed", obs.CatKernel))
 	stop := s.Prof.Start("wave_speed")
 	stopSpan := s.rt.Span("wave_speed", obs.CatKernel)
 	// Per-slot partial maxima: max is order-insensitive, so chunked
@@ -48,6 +49,9 @@ func (s *Solver) MaxWaveSpeed() float64 {
 	s.chargeCompute(sem.OpCount{Mul: int64(len(s.U[IRho])) * 8, Add: int64(len(s.U[IRho])) * 5,
 		Load: int64(len(s.U[IRho])) * NumFields, Store: 0}, pointwiseTraits)
 	stopSpan()
+	popPhase()
+	popPhase = s.Rank.Clock().PushPhase(obs.PhaseOf("glmax", obs.CatComm))
+	defer popPhase()
 	stopRed := s.rt.Span("glmax", obs.CatComm)
 	s.Rank.SetSite("glmax")
 	out := s.Rank.Allreduce(comm.OpMax, []float64{local})
