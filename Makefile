@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-all bench-diff
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-all bench-diff generate generate-check test-noasm
 
 all: check
 
@@ -29,13 +29,32 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestMessageFaults|TestStall|TestWaitErr|TestKill|TestShrink|TestBlockingRecv|TestDrop|TestCorruption|TestDelay|TestRehome|TestRestoreRemapped' \
 		./internal/fault/... ./internal/comm/... ./internal/checkpoint/...
 
-# 10-second fuzz smoke per binary-parser target (one target per
-# invocation, as go test requires).
+# 10-second fuzz smoke per target (one target per invocation, as go
+# test requires): the binary parsers plus the differential mxm-kernel
+# fuzzer (every variant vs MxMBasic, bit-exact).
 fuzz-smoke:
 	$(GO) test -race -run '^$$' -fuzz '^FuzzRead$$' -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -race -run '^$$' -fuzz '^FuzzReadParticles$$' -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -race -run '^$$' -fuzz '^FuzzDecodeOwnershipWire$$' -fuzztime 10s ./internal/mesh/
 	$(GO) test -race -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s ./internal/fault/
+	$(GO) test -race -run '^$$' -fuzz '^FuzzMxMVariants$$' -fuzztime 10s ./internal/sem/
+
+# Re-run the kernel generator (internal/sem/gen) over the committed
+# generated sources.
+generate:
+	$(GO) generate ./...
+
+# Drift check: the committed generated kernels must match what the
+# generator emits today.
+generate-check: generate
+	git diff --exit-code -- internal/sem
+
+# The pure-Go fallback build: the semnoasm tag disables the AVX2
+# assembly backend; the kernel packages and their consumers must build
+# and pass bit-exactness tests without it.
+test-noasm:
+	$(GO) build -tags semnoasm ./...
+	$(GO) test -tags semnoasm ./internal/sem/... ./internal/solver/... ./internal/bench/...
 
 # Quick worker-sweep smoke: the derivative kernel across pool widths
 # (1..NumCPU) plus the gs zero-alloc benches. Fast enough for check/CI;
@@ -48,14 +67,17 @@ bench-sweep:
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-check: vet build test race chaos bench-sweep bench-smoke
+check: vet build test race chaos test-noasm bench-sweep bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the worker-sweep baseline (BENCH_workers_baseline.json).
+# Regenerate the worker-sweep + mxm-sweep baseline
+# (BENCH_workers_baseline.json): the derivative kernel across pool
+# widths plus every mxm variant (generated/SIMD/auto included) across
+# the k range, with effective-kernel labels.
 bench-workers:
-	$(GO) run ./cmd/kernelbench -n 9 -nel 64 -steps 200 -workersweep -json BENCH_workers_baseline.json
+	$(GO) run ./cmd/kernelbench -n 9 -nel 64 -steps 200 -workersweep -mxm -json BENCH_workers_baseline.json
 
 # Regenerate the dynamic load-balancing baseline
 # (BENCH_loadbal_baseline.json): balanced vs skewed vs skewed+loadbal

@@ -52,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *record != "" {
-		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, allocs: true},
+		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, mxm: true, allocs: true},
 			nil, *reps, *hot)
 		if err != nil {
 			log.Fatal(err)
@@ -116,7 +116,7 @@ func main() {
 
 // suiteSet selects which measurement suites a fresh run performs.
 type suiteSet struct {
-	loadbal, overlap, kernel, allocs bool
+	loadbal, overlap, kernel, mxm, allocs bool
 }
 
 func suitesOf(t *report.Trajectory) suiteSet {
@@ -129,6 +129,8 @@ func suitesOf(t *report.Trajectory) suiteSet {
 			s.overlap = true
 		case "kernelbench":
 			s.kernel = true
+		case "kernelbench-mxm":
+			s.mxm = true
 		case "allocs":
 			s.allocs = true
 		}
@@ -189,6 +191,11 @@ func freshRun(want suiteSet, base *report.Trajectory, reps int, hot float64) (*f
 			out.wallCI[k] = v
 		}
 	}
+	if want.mxm {
+		opts := mxmOptsFrom(base)
+		fmt.Printf("running small-matrix mxm sweep (%d ks, nel=%d, tuned)...\n", len(opts.Ks), opts.Nel)
+		traj.Results = append(traj.Results, bench.MxMResults(bench.MxMSweep(opts))...)
+	}
 	if want.allocs {
 		fmt.Printf("running steady-state allocation guard...\n")
 		recs, err := bench.AllocsGuard()
@@ -243,6 +250,48 @@ func sweepOptsFrom(base *report.Trajectory) bench.SweepOptions {
 		opts.Workers = widths
 	}
 	return opts
+}
+
+// mxmOptsFrom reconstructs the mxm-sweep configuration from the
+// baseline's recorded parameters and scenarios. A nil baseline (record
+// mode) uses the committed-baseline defaults. The fresh run always
+// tunes, matching how the recorded baseline is produced.
+func mxmOptsFrom(base *report.Trajectory) bench.MxMSweepOptions {
+	opts := bench.MxMSweepOptions{Tune: true}
+	if base == nil {
+		opts.Ks = defaultMxMKs()
+		opts.Nel = 32
+		return opts
+	}
+	seen := map[int]bool{}
+	for i := range base.Results {
+		r := &base.Results[i]
+		if r.Suite != "kernelbench-mxm" {
+			continue
+		}
+		if v, err := strconv.Atoi(r.Params["nel"]); err == nil {
+			opts.Nel = v
+		}
+		// Scenario format: "k=<k>/<variant>".
+		var k int
+		if _, err := fmt.Sscanf(r.Scenario, "k=%d/", &k); err == nil && !seen[k] {
+			seen[k] = true
+			opts.Ks = append(opts.Ks, k)
+		}
+	}
+	sort.Ints(opts.Ks)
+	if len(opts.Ks) == 0 {
+		opts.Ks = defaultMxMKs()
+	}
+	return opts
+}
+
+func defaultMxMKs() []int {
+	var ks []int
+	for k := 4; k <= 16; k++ {
+		ks = append(ks, k)
+	}
+	return ks
 }
 
 // repeatedSweep runs the worker sweep reps times, reporting per-metric

@@ -51,10 +51,11 @@ func main() {
 	variantName := flag.String("variant", "both", "kernel variant: optimized, basic, or both")
 	machineName := flag.String("machine", hw.Opteron6378.Name, "hw model machine: opteron-6378, i5-2500, generic")
 	sweep := flag.Bool("sweep", false, "sweep N over the paper's 5..25 range (constant total points) instead of one N")
-	mxm := flag.Bool("mxm", false, "benchmark the mxm variants across the small-k range (incl. the hand-specialized kernels)")
+	mxm := flag.Bool("mxm", false, "benchmark the mxm variants across the small-k range (generated/SIMD/auto included)")
+	tune := flag.Bool("tune", true, "run the mxm autotuner before the -mxm sweep (the auto column reflects the tuned table)")
 	workers := flag.Int("workers", 1, "intra-rank worker pool width for the element loop (0 = NumCPU)")
 	workerSweep := flag.Bool("workersweep", false, "sweep the worker count 1,2,4..NumCPU on the derivative kernel")
-	jsonPath := flag.String("json", "", "write the worker-sweep records to this JSON file")
+	jsonPath := flag.String("json", "", "write the worker-sweep and/or mxm-sweep records to this JSON file")
 	cli.Parse()
 
 	if *workers == 0 {
@@ -78,12 +79,21 @@ func main() {
 		log.Fatalf("-variant: want optimized, basic, or both, got %q", *variantName)
 	}
 
-	if *mxm {
-		runMxM(*nel, *steps)
-		return
-	}
-	if *workerSweep {
-		runWorkerSweep(variants[0], *n, *nel, *steps, *jsonPath)
+	if *mxm || *workerSweep {
+		var results []report.BenchResult
+		if *workerSweep {
+			results = append(results, bench.SweepResults(runWorkerSweep(variants[0], *n, *nel, *steps))...)
+		}
+		if *mxm {
+			results = append(results, bench.MxMResults(runMxM(*tune))...)
+		}
+		if *jsonPath != "" {
+			traj := report.New(results)
+			if err := traj.WriteFile(*jsonPath); err != nil {
+				log.Fatalf("-json: %v", err)
+			}
+			fmt.Printf("\nwrote %d results to %s (schema v%d)\n", len(traj.Results), *jsonPath, report.SchemaVersion)
+		}
 		return
 	}
 	if *sweep {
@@ -94,28 +104,21 @@ func main() {
 }
 
 // runWorkerSweep times the derivative kernel across worker counts and
-// prints (and optionally records) wall time and speedup versus serial.
-// The measurement core lives in internal/bench so cmd/benchdiff can
-// re-run the identical sweep; the JSON artifact is a schema-versioned
+// prints wall time and speedup versus serial. The measurement core
+// lives in internal/bench so cmd/benchdiff can re-run the identical
+// sweep; the caller records the returned records as a schema-versioned
 // report.Trajectory.
-func runWorkerSweep(v sem.KernelVariant, n, nel, steps int, jsonPath string) {
+func runWorkerSweep(v sem.KernelVariant, n, nel, steps int) []bench.SweepRecord {
 	fmt.Printf("Derivative kernel worker sweep: N=%d, Nel=%d, %d steps, NumCPU=%d (%v)\n\n",
 		n, nel, steps, runtime.NumCPU(), v)
 	fmt.Printf("%8s %6s %12s %10s %9s\n", "workers", "dir", "wall(s)", "Gflop/s", "speedup")
 
-	records := bench.WorkerSweep(bench.SweepOptions{
+	return bench.WorkerSweep(bench.SweepOptions{
 		N: n, Nel: nel, Steps: steps, Variant: v,
 		Each: func(r bench.SweepRecord) {
 			fmt.Printf("%8d %6s %12.4f %10.2f %8.2fx\n", r.Workers, r.Dir, r.Wall, r.Gflops, r.Speedup)
 		},
 	})
-	if jsonPath != "" {
-		traj := report.New(bench.SweepResults(records))
-		if err := traj.WriteFile(jsonPath); err != nil {
-			log.Fatalf("-json: %v", err)
-		}
-		fmt.Printf("\nwrote %d results to %s (schema v%d)\n", len(traj.Results), jsonPath, report.SchemaVersion)
-	}
 }
 
 // runOne benchmarks the three derivative directions at one (N, Nel) and
@@ -192,43 +195,48 @@ func runSweep(machine hw.Machine, variants []sem.KernelVariant, steps int) {
 
 // runMxM benchmarks every MxM variant across the small-k range the
 // spectral-element kernels produce (k = N is the 1D operator size), in
-// the derivative kernel's dominant shape m = N^2, n = N. k in [4, 10]
-// exercises the hand-specialized fully-unrolled kernels (Nek5000's mxm44
-// family); k above that falls back to the fused+unrolled generic, so the
-// table shows exactly what the specialization buys.
-func runMxM(nel, steps int) {
-	fmt.Printf("Small-matrix mxm sweep: shape (N*N x N) x (N x N), %d elements, %d steps\n\n", nel, steps)
+// the derivative kernel's dominant shape m = N^2, n = N, batched over
+// elements. Each column is labeled with the kernel that actually ran:
+// variants outside their specialization range (e.g. "specialized" for
+// k outside [4, 10]) are footnoted with their effective fallback
+// instead of silently crediting the named variant with the fallback's
+// numbers. The measurement core lives in internal/bench so
+// cmd/benchdiff can re-run the identical sweep.
+func runMxM(tune bool) []bench.MxMRecord {
+	records := bench.MxMSweep(bench.MxMSweepOptions{Tune: tune})
+
+	fmt.Printf("Small-matrix mxm sweep: shape (N*N x N) x (N x N), batched, AVX2=%v, tuned=%v\n\n",
+		sem.HasSIMD(), tune)
 	fmt.Printf("%4s", "N")
 	for _, v := range sem.MxMVariants {
 		fmt.Printf(" %14s", v)
 	}
 	fmt.Println("  (Gflop/s)")
-	for _, k := range []int{4, 5, 6, 7, 8, 9, 10, 12} {
-		m, n := k*k, k
-		rng := rand.New(rand.NewSource(1))
-		a := make([]float64, m*k)
-		for i := range a {
-			a[i] = rng.Float64()
-		}
-		b := make([]float64, k*n)
-		for i := range b {
-			b[i] = rng.Float64()
-		}
-		c := make([]float64, m*n)
-		fmt.Printf("%4d", k)
-		for _, v := range sem.MxMVariants {
-			start := time.Now()
-			var ops sem.OpCount
-			for s := 0; s < steps; s++ {
-				for e := 0; e < nel; e++ {
-					ops = ops.Plus(sem.MxM(v, a, m, b, k, c, n))
-				}
+	var notes []string
+	lastK := -1
+	for _, r := range records {
+		if r.K != lastK {
+			if lastK != -1 {
+				fmt.Println()
 			}
-			wall := time.Since(start).Seconds()
-			fmt.Printf(" %14.2f", float64(ops.Flops())/wall/1e9)
+			lastK = r.K
+			fmt.Printf("%4d", r.K)
 		}
-		fmt.Println()
+		mark := " "
+		if r.Effective != r.Variant {
+			mark = "*"
+			notes = append(notes, fmt.Sprintf("N=%d %s -> %s", r.K, r.Variant, r.Effective))
+		}
+		fmt.Printf(" %13.2f%s", r.Gflops, mark)
 	}
+	fmt.Println()
+	if len(notes) > 0 {
+		fmt.Println("\n* effective kernel differs from the requested variant:")
+		for _, n := range notes {
+			fmt.Printf("    %s\n", n)
+		}
+	}
+	return records
 }
 
 // timeDeriv runs one direction/variant for the given number of steps on

@@ -52,8 +52,11 @@ func TestDecodeGarbageRejected(t *testing.T) {
 	}
 }
 
-// The committed v0 baselines must keep decoding forever: they are the
-// regression reference benchdiff compares fresh runs against.
+// The v0 baseline formats must keep decoding forever: committed
+// baselines in the repo root are the regression reference benchdiff
+// compares fresh runs against, and the kernelbench v0 list format
+// (superseded on disk when the workers baseline was re-recorded under
+// the unified schema) is pinned by a testdata fixture.
 func TestDecodeCommittedV0Baselines(t *testing.T) {
 	_, thisFile, _, _ := runtime.Caller(0)
 	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
@@ -62,7 +65,7 @@ func TestDecodeCommittedV0Baselines(t *testing.T) {
 		suite string
 		nRes  int
 	}{
-		{"BENCH_workers_baseline.json", "kernelbench", 3},
+		{filepath.Join("internal", "report", "testdata", "v0_kernelbench_workers.json"), "kernelbench", 3},
 		{"BENCH_loadbal_baseline.json", "scalebench-loadbal", 3},
 		{"BENCH_overlap_baseline.json", "scalebench-overlap", 2},
 	}

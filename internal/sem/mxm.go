@@ -2,6 +2,8 @@ package sem
 
 import "fmt"
 
+//go:generate go run ./gen -dir .
+
 // The mxm kernel: C = A * B with A (m x k), B (k x n), C (m x n), all
 // row-major. Nek5000 — and therefore CMT-nek and CMT-bone — spends the
 // bulk of its time in exactly these small matrix products (N between 5
@@ -31,6 +33,21 @@ const (
 	// hand-specialized mxm44 family) when k is in [4, 10], falling back
 	// to MxMFusedUnroll otherwise.
 	MxMSpecialized
+	// MxMGenerated uses the go:generate-emitted fully k-unrolled kernels
+	// (internal/sem/gen) for k in [1, 16], falling back to MxMFusedUnroll
+	// otherwise. Bit-identical to MxMBasic.
+	MxMGenerated
+	// MxMSIMD uses the AVX2 assembly kernel on amd64 hosts with AVX2
+	// support (disabled by the semnoasm build tag), falling back to
+	// MxMGenerated then MxMFusedUnroll. Bit-identical to MxMBasic: the
+	// assembly accumulates in ascending-l order with separate multiply
+	// and add (no FMA contraction).
+	MxMSIMD
+	// MxMAuto dispatches through the per-k kernel table maintained by the
+	// autotuner (see TuneMxM); the default table statically prefers SIMD,
+	// then generated, then fused+unroll. All table entries are bit-exact,
+	// so tuning never changes results — only wall time.
+	MxMAuto
 )
 
 // String implements fmt.Stringer.
@@ -46,37 +63,123 @@ func (v MxMVariant) String() string {
 		return "fused+unroll"
 	case MxMSpecialized:
 		return "specialized"
+	case MxMGenerated:
+		return "generated"
+	case MxMSIMD:
+		return "simd"
+	case MxMAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("MxMVariant(%d)", int(v))
 }
 
 // MxMVariants lists all kernel variants, for sweeps and ablations.
-var MxMVariants = []MxMVariant{MxMBasic, MxMUnroll, MxMFused, MxMFusedUnroll, MxMSpecialized}
+var MxMVariants = []MxMVariant{
+	MxMBasic, MxMUnroll, MxMFused, MxMFusedUnroll,
+	MxMSpecialized, MxMGenerated, MxMSIMD, MxMAuto,
+}
+
+// checkMxMShape rejects degenerate dimensions before any slicing. The
+// length checks alone are not enough: m=0 with garbage slices silently
+// no-ops, and negative dims whose pairwise products come out positive
+// (say m=-1, k=-1) pass `len <` checks and then mis-slice.
+func checkMxMShape(what string, m, k, n, la, lb, lc int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		panic(fmt.Sprintf("sem: %s dimensions must be positive, got m=%d k=%d n=%d", what, m, k, n))
+	}
+	if la < m*k || lb < k*n || lc < m*n {
+		panic(fmt.Sprintf("sem: %s shape mismatch m=%d k=%d n=%d (len a=%d b=%d c=%d)",
+			what, m, k, n, la, lb, lc))
+	}
+}
 
 // MxM computes c = a*b with the selected variant and returns the
 // structural operation count.
 func MxM(v MxMVariant, a []float64, m int, b []float64, k int, c []float64, n int) OpCount {
-	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		panic(fmt.Sprintf("sem: mxm shape mismatch m=%d k=%d n=%d (len a=%d b=%d c=%d)",
-			m, k, n, len(a), len(b), len(c)))
+	checkMxMShape("mxm", m, k, n, len(a), len(b), len(c))
+	fn, _ := mxmResolve(v, k)
+	fn(a, m, b, k, c, n)
+	return mxmOps(m, n, k)
+}
+
+// mxmFunc is the uniform kernel signature used by the dispatch table.
+type mxmFunc func(a []float64, m int, b []float64, k int, c []float64, n int)
+
+// Fallback-wrapped kernels, so a resolved function is always total even
+// if the specialization range is probed outside resolve (defensive; the
+// resolver only hands them out in range).
+func mxmSpecializedOrFallback(a []float64, m int, b []float64, k int, c []float64, n int) {
+	if !mxmSpecialized(a, m, b, k, c, n) {
+		mxmFusedUnroll(a, m, b, k, c, n)
 	}
+}
+
+func mxmGenOrFallback(a []float64, m int, b []float64, k int, c []float64, n int) {
+	if !mxmGen(a, m, b, k, c, n) {
+		mxmFusedUnroll(a, m, b, k, c, n)
+	}
+}
+
+func mxmSIMDOrFallback(a []float64, m int, b []float64, k int, c []float64, n int) {
+	if !mxmSIMD(a, m, b, k, c, n) {
+		mxmGenOrFallback(a, m, b, k, c, n)
+	}
+}
+
+// mxmResolve maps (variant, k) to the kernel that will actually run and
+// its effective name. Variants with bounded specialization ranges
+// (specialized, generated, simd) resolve to their fallback outside the
+// range — the name reports the fallback, which is what benchmarks must
+// print (the kernelbench -mxm table used to credit "specialized" with
+// fused+unroll numbers for k outside [4, 10]).
+func mxmResolve(v MxMVariant, k int) (mxmFunc, string) {
 	switch v {
 	case MxMBasic:
-		mxmBasic(a, m, b, k, c, n)
+		return mxmBasic, "basic"
 	case MxMUnroll:
-		mxmUnroll(a, m, b, k, c, n)
+		return mxmUnroll, "unroll"
 	case MxMFused:
-		mxmFused(a, m, b, k, c, n)
+		return mxmFused, "fused"
 	case MxMFusedUnroll:
-		mxmFusedUnroll(a, m, b, k, c, n)
+		return mxmFusedUnroll, "fused+unroll"
 	case MxMSpecialized:
-		if !mxmSpecialized(a, m, b, k, c, n) {
-			mxmFusedUnroll(a, m, b, k, c, n)
+		if k >= 4 && k <= 10 {
+			return mxmSpecializedOrFallback, "specialized"
 		}
-	default:
-		panic(fmt.Sprintf("sem: unknown mxm variant %d", int(v)))
+		return mxmFusedUnroll, "fused+unroll"
+	case MxMGenerated:
+		if k >= 1 && k <= mxmGenMaxK {
+			return mxmGenOrFallback, "generated"
+		}
+		return mxmFusedUnroll, "fused+unroll"
+	case MxMSIMD:
+		if hasAVX2 {
+			return mxmSIMDOrFallback, "simd"
+		}
+		if k >= 1 && k <= mxmGenMaxK {
+			return mxmGenOrFallback, "generated"
+		}
+		return mxmFusedUnroll, "fused+unroll"
+	case MxMAuto:
+		if k >= 1 && k <= mxmGenMaxK {
+			t := mxmAutoTab.Load()
+			return t.fn[k], "auto:" + t.name[k]
+		}
+		// Out-of-table k: same static preference order as the default
+		// table, without the per-k tuning.
+		fn, name := mxmResolve(MxMSIMD, k)
+		return fn, "auto:" + name
 	}
-	return mxmOps(m, n, k)
+	panic(fmt.Sprintf("sem: unknown mxm variant %d", int(v)))
+}
+
+// MxMEffective reports the kernel MxM(v, ...) actually runs for
+// reduction size k — the variant's own name in its specialization
+// range, the fallback's name outside it, and the tuned table entry for
+// MxMAuto (prefixed "auto:").
+func MxMEffective(v MxMVariant, k int) string {
+	_, name := mxmResolve(v, k)
+	return name
 }
 
 func mxmBasic(a []float64, m int, b []float64, k int, c []float64, n int) {

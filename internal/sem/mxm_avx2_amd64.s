@@ -1,0 +1,155 @@
+//go:build amd64 && !semnoasm
+
+#include "textflag.h"
+
+// func mxmAVX2Asm(a *float64, m int, b *float64, k int, c *float64, n int)
+//
+// C (m x n) = A (m x k) * B (k x n), row-major. For each output row the
+// column range is covered 8 wide (two YMM accumulators), then 4 wide,
+// then scalar. Every accumulator lane sums its dot product in ascending
+// l order with separate multiply and add (no FMA), so each C element is
+// bit-identical to the scalar basic kernel's left-to-right reduction.
+//
+// Register map:
+//   SI = current A row        DI = current C row       DX = B base
+//   R8 = m                    R9 = k                   R10 = n
+//   R11 = row index i         R13 = n*8 (B/C row stride in bytes)
+//   R14 = column index j      R15 = reduction counter
+//   CX = A cursor             BX = B cursor            AX = scratch
+TEXT ·mxmAVX2Asm(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ m+8(FP), R8
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), R9
+	MOVQ c+32(FP), DI
+	MOVQ n+40(FP), R10
+	MOVQ R10, R13
+	SHLQ $3, R13
+
+	XORQ R11, R11
+
+rowloop:
+	CMPQ R11, R8
+	JGE  done
+	XORQ R14, R14
+
+j8loop:
+	MOVQ R14, AX
+	ADDQ $8, AX
+	CMPQ AX, R10
+	JG   j4loop
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ SI, CX
+	MOVQ R14, BX
+	SHLQ $3, BX
+	ADDQ DX, BX
+	MOVQ R9, R15
+
+l8loop:
+	VBROADCASTSD (CX), Y2
+	VMOVUPD (BX), Y3
+	VMOVUPD 32(BX), Y4
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	VMULPD  Y4, Y2, Y4
+	VADDPD  Y4, Y1, Y1
+	ADDQ $8, CX
+	ADDQ R13, BX
+	DECQ R15
+	JNZ  l8loop
+
+	MOVQ R14, AX
+	SHLQ $3, AX
+	ADDQ DI, AX
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, 32(AX)
+	ADDQ $8, R14
+	JMP  j8loop
+
+j4loop:
+	MOVQ R14, AX
+	ADDQ $4, AX
+	CMPQ AX, R10
+	JG   j1loop
+	VXORPD Y0, Y0, Y0
+	MOVQ SI, CX
+	MOVQ R14, BX
+	SHLQ $3, BX
+	ADDQ DX, BX
+	MOVQ R9, R15
+
+l4loop:
+	VBROADCASTSD (CX), Y2
+	VMOVUPD (BX), Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ $8, CX
+	ADDQ R13, BX
+	DECQ R15
+	JNZ  l4loop
+
+	MOVQ R14, AX
+	SHLQ $3, AX
+	ADDQ DI, AX
+	VMOVUPD Y0, (AX)
+	ADDQ $4, R14
+	JMP  j4loop
+
+j1loop:
+	CMPQ R14, R10
+	JGE  rownext
+	VXORPD X0, X0, X0
+	MOVQ SI, CX
+	MOVQ R14, BX
+	SHLQ $3, BX
+	ADDQ DX, BX
+	MOVQ R9, R15
+
+l1loop:
+	VMOVSD (CX), X2
+	VMOVSD (BX), X3
+	VMULSD X3, X2, X3
+	VADDSD X3, X0, X0
+	ADDQ $8, CX
+	ADDQ R13, BX
+	DECQ R15
+	JNZ  l1loop
+
+	MOVQ R14, AX
+	SHLQ $3, AX
+	ADDQ DI, AX
+	VMOVSD X0, (AX)
+	INCQ R14
+	JMP  j1loop
+
+rownext:
+	MOVQ R9, AX
+	SHLQ $3, AX
+	ADDQ AX, SI
+	ADDQ R13, DI
+	INCQ R11
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,52 @@
+package sem
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// Batched mxm entry points: nel independent products sharing one B
+// operator, with the A and C blocks laid out contiguously per element —
+// exactly how the spectral-element kernels apply a 1D operator across
+// every element of a rank's mesh. One call resolves the kernel once and
+// loops elements, amortizing variant dispatch (and, in the pooled form,
+// chunk scheduling) over the whole batch instead of paying it per
+// element.
+
+// MxMBatch computes c[e] = a[e] * b for e in [0, nel), where a holds nel
+// consecutive (m x k) blocks and c holds nel consecutive (m x n) blocks.
+// Returns the total structural operation count.
+func MxMBatch(v MxMVariant, a []float64, m int, b []float64, k int, c []float64, n, nel int) OpCount {
+	if nel <= 0 {
+		panic(fmt.Sprintf("sem: mxm batch needs nel >= 1, got %d", nel))
+	}
+	checkMxMShape("mxm batch", m, k, n, len(a)/nel, len(b), len(c)/nel)
+	fn, _ := mxmResolve(v, k)
+	mk, mn := m*k, m*n
+	for e := 0; e < nel; e++ {
+		fn(a[e*mk:(e+1)*mk], m, b, k, c[e*mn:(e+1)*mn], n)
+	}
+	return mxmOps(m, n, k).Times(int64(nel))
+}
+
+// MxMBatchPool is MxMBatch with the element loop split across the
+// worker pool. Elements are independent, so results are bit-identical
+// at every pool width.
+func MxMBatchPool(p *pool.Pool, v MxMVariant, a []float64, m int, b []float64, k int, c []float64, n, nel int) OpCount {
+	if p.Workers() == 1 || nel <= 1 {
+		return MxMBatch(v, a, m, b, k, c, n, nel)
+	}
+	if nel <= 0 {
+		panic(fmt.Sprintf("sem: mxm batch needs nel >= 1, got %d", nel))
+	}
+	checkMxMShape("mxm batch", m, k, n, len(a)/nel, len(b), len(c)/nel)
+	fn, _ := mxmResolve(v, k)
+	mk, mn := m*k, m*n
+	p.For(nel, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			fn(a[e*mk:(e+1)*mk], m, b, k, c[e*mn:(e+1)*mn], n)
+		}
+	})
+	return mxmOps(m, n, k).Times(int64(nel))
+}

@@ -1,0 +1,36 @@
+package sem
+
+// MxMBT computes c = a * btᵀ where bt holds B transposed: bt is (n x k)
+// row-major, so output element (i, j) is the dot product of two
+// contiguous rows, a[i*k:] and bt[j*k:]. This is the natural shape for
+// TensorApply3's first stage, which applies the 1D operator from the
+// right — previously it transposed the operator into a scratch slice on
+// every call. Accumulation is strictly left to right over l, so the
+// result is bit-identical to Transpose(bt) followed by MxM with any of
+// the order-preserving variants. Returns the structural operation
+// count, identical to MxM at the same logical shape.
+func MxMBT(a []float64, m int, bt []float64, k int, c []float64, n int) OpCount {
+	checkMxMShape("mxm-bt", m, k, n, len(a), len(bt), len(c))
+	if !mxmBTGen(a, m, bt, k, c, n) {
+		mxmBTGeneric(a, m, bt, k, c, n)
+	}
+	return mxmOps(m, n, k)
+}
+
+// mxmBTGeneric is the portable any-k kernel behind the generated
+// specializations. The scalar reduction keeps mxmBasic's accumulation
+// order.
+func mxmBTGeneric(a []float64, m int, bt []float64, k int, c []float64, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := range ci {
+			bj := bt[j*k : j*k+k]
+			s := 0.0
+			for l, al := range ai {
+				s += al * bj[l]
+			}
+			ci[j] = s
+		}
+	}
+}

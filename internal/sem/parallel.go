@@ -43,6 +43,23 @@ func Grad3Pool(p *pool.Pool, v KernelVariant, ref *Ref1D, u, ur, us, ut []float6
 	return ops
 }
 
+// Grad3FusedPool is Grad3Fused with the element loop fanned out over p.
+func Grad3FusedPool(p *pool.Pool, ref *Ref1D, u, ur, us, ut []float64, nel int) OpCount {
+	if p.Workers() == 1 || nel <= 1 {
+		return Grad3Fused(ref, u, ur, us, ut, nel)
+	}
+	n := ref.N
+	n3 := n * n * n
+	if len(u) < nel*n3 || len(ur) < nel*n3 || len(us) < nel*n3 || len(ut) < nel*n3 {
+		panic(fmt.Sprintf("sem: grad3 needs %d values, got u=%d ur=%d us=%d ut=%d",
+			nel*n3, len(u), len(ur), len(us), len(ut)))
+	}
+	p.For(nel, func(lo, hi int) {
+		Grad3Fused(ref, u[lo*n3:hi*n3], ur[lo*n3:hi*n3], us[lo*n3:hi*n3], ut[lo*n3:hi*n3], hi-lo)
+	})
+	return derivOps(n, nel).Times(3)
+}
+
 // ApplyDirPool is ApplyDir with the element loop fanned out over p.
 func ApplyDirPool(p *pool.Pool, dir Direction, mat []float64, n int, u, du []float64, nel int) OpCount {
 	if p.Workers() == 1 || nel <= 1 {

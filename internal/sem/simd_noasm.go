@@ -1,0 +1,12 @@
+//go:build !amd64 || semnoasm
+
+package sem
+
+// Pure-Go fallback for hosts without the AVX2 backend (non-amd64, or
+// the semnoasm build tag). MxMSIMD degrades to the generated kernels.
+
+const hasAVX2 = false
+
+func mxmSIMD(a []float64, m int, b []float64, k int, c []float64, n int) bool {
+	return false
+}

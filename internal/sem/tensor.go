@@ -31,18 +31,19 @@ func TensorApply3(a []float64, m1, n1 int,
 	var ops OpCount
 	// Stage 1, along the first index: view u as row-major (n2*n3 x n1)
 	// and multiply by A^T, giving t1 as (n2*n3 x m1) — i.e. t1 indexed
-	// [a + m1*(j + n2*k)].
-	at := Transpose(a, m1, n1)
-	ops = ops.Plus(MxM(MxMFusedUnroll, u, n2*n3, at, n1, t1, m1))
+	// [a + m1*(j + n2*k)]. A row-major (m1 x n1) is its own transpose
+	// stored transposed, which is exactly MxMBT's B-side layout, so the
+	// operator is applied in place with no per-call transposed copy.
+	ops = ops.Plus(MxMBT(u, n2*n3, a, n1, t1, m1))
 	// Stage 2, along the second index, one k-slab at a time:
 	// t2slab(m2 x m1) = B(m2 x n2) * t1slab(n2 x m1).
 	for k := 0; k < n3; k++ {
 		src := t1[k*m1*n2 : (k+1)*m1*n2]
 		dst := t2[k*m1*m2 : (k+1)*m1*m2]
-		ops = ops.Plus(MxM(MxMFusedUnroll, b, m2, src, n2, dst, m1))
+		ops = ops.Plus(MxM(MxMAuto, b, m2, src, n2, dst, m1))
 	}
 	// Stage 3, along the third index: w(m3 x m1*m2) = C(m3 x n3) * t2.
-	ops = ops.Plus(MxM(MxMFusedUnroll, c, m3, t2, n3, w, m1*m2))
+	ops = ops.Plus(MxM(MxMAuto, c, m3, t2, n3, w, m1*m2))
 	return ops
 }
 

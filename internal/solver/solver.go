@@ -134,6 +134,9 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 	if cfg.Dealias && cfg.GaussDealias {
 		ref = sem.NewRef1DGauss(cfg.N)
 	}
+	if cfg.TuneMxM {
+		sem.TuneMxMDefault()
+	}
 
 	s := &Solver{
 		Cfg:   cfg,
