@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-all bench-diff generate generate-check test-noasm
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-serve bench-all bench-diff generate generate-check test-noasm serve-smoke
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/pool/... ./internal/gs/... ./internal/sem/...
 	$(GO) test -race -run 'TestWorkers|TestStraggler|TestOverlap' ./internal/solver/...
-	$(GO) test -race ./internal/loadbal/... ./internal/fault/...
+	$(GO) test -race ./internal/loadbal/... ./internal/fault/... ./internal/serve/...
 
 # Fixed-seed chaos suite under the race detector: crash/recovery across 5
 # seeds, message-fault bit-identity, dead-sender detection, shrink, and
@@ -67,7 +67,13 @@ bench-sweep:
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-check: vet build test race chaos test-noasm bench-sweep bench-smoke
+# End-to-end smoke of the simulation job server: start cmtserve, submit
+# a job over HTTP, poll to completion, stream steps, SIGINT, and assert
+# a clean shutdown with the telemetry snapshot flushed.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+check: vet build test race chaos test-noasm bench-sweep bench-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -91,11 +97,19 @@ bench-loadbal:
 bench-overlap:
 	$(GO) run ./cmd/scalebench -n 5 -maxranks 8 -net gige -overlap -overlap-json BENCH_overlap_baseline.json
 
+# Regenerate the job-server load baseline (BENCH_serve_baseline.json):
+# sustained jobs/sec, time-to-first-step percentiles, preemption
+# latency, and the warm/cold artifact-cache setup split, from the
+# open-loop generator against an in-process server.
+bench-serve:
+	$(GO) run ./cmd/serveload -steps 30 -json BENCH_serve_baseline.json
+
 # Run every bench suite in-process (loadbal + overlap studies traced,
-# kernel worker sweep, allocation guard) and write the unified
-# schema-versioned trajectory plus the critical-path reports. This is
-# the single file future benchdiff runs compare against — it carries
-# critical-path summaries, so regressions get blame lines.
+# kernel worker sweep, allocation guard, job-server load generation)
+# and write the unified schema-versioned trajectory plus the
+# critical-path reports. This is the single file future benchdiff runs
+# compare against — it carries critical-path summaries, so regressions
+# get blame lines.
 bench-all:
 	$(GO) run ./cmd/benchdiff -record BENCH_trajectory.json -critpath CRITPATH_REPORT.txt
 
@@ -105,5 +119,5 @@ bench-all:
 # Exit 1 on regression, with critical-path blame lines naming the
 # responsible rank and phase.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold 0.02 BENCH_loadbal_baseline.json BENCH_overlap_baseline.json BENCH_workers_baseline.json
+	$(GO) run ./cmd/benchdiff -threshold 0.02 BENCH_loadbal_baseline.json BENCH_overlap_baseline.json BENCH_workers_baseline.json BENCH_serve_baseline.json
 	$(GO) run ./cmd/benchdiff -threshold 0.02 -critpath CRITPATH_REPORT.txt BENCH_trajectory.json

@@ -52,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *record != "" {
-		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, mxm: true, allocs: true},
+		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, mxm: true, allocs: true, serveload: true},
 			nil, *reps, *hot)
 		if err != nil {
 			log.Fatal(err)
@@ -116,7 +116,7 @@ func main() {
 
 // suiteSet selects which measurement suites a fresh run performs.
 type suiteSet struct {
-	loadbal, overlap, kernel, mxm, allocs bool
+	loadbal, overlap, kernel, mxm, allocs, serveload bool
 }
 
 func suitesOf(t *report.Trajectory) suiteSet {
@@ -133,6 +133,8 @@ func suitesOf(t *report.Trajectory) suiteSet {
 			s.mxm = true
 		case "allocs":
 			s.allocs = true
+		case "serveload":
+			s.serveload = true
 		}
 	}
 	return s
@@ -204,7 +206,47 @@ func freshRun(want suiteSet, base *report.Trajectory, reps int, hot float64) (*f
 		}
 		traj.Results = append(traj.Results, bench.AllocsResults(recs)...)
 	}
+	if want.serveload {
+		opts := serveOptsFrom(base)
+		opts.Defaults()
+		fmt.Printf("running job-server load generation (%d jobs, %d slots)...\n", opts.Jobs, opts.Slots)
+		res, err := bench.ServeLoad(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		traj.Results = append(traj.Results, res.Results(opts)...)
+	}
 	return out, crit, nil
+}
+
+// serveOptsFrom reconstructs the load-generation configuration from the
+// baseline's recorded parameters, so the fresh run replays the committed
+// script. A nil baseline (record mode) uses the defaults.
+func serveOptsFrom(base *report.Trajectory) bench.ServeLoadOptions {
+	var opts bench.ServeLoadOptions
+	opts.Steps = 30 // record-mode default: long enough that preemption occurs
+	if base == nil {
+		return opts
+	}
+	for i := range base.Results {
+		r := &base.Results[i]
+		if r.Suite != "serveload" {
+			continue
+		}
+		geti := func(key string, dst *int) {
+			if v, ok := r.Params[key]; ok {
+				fmt.Sscanf(v, "%d", dst)
+			}
+		}
+		geti("slots", &opts.Slots)
+		geti("jobs", &opts.Jobs)
+		geti("tenants", &opts.Tenants)
+		geti("ranks", &opts.Ranks)
+		geti("n", &opts.N)
+		geti("steps", &opts.Steps)
+		break
+	}
+	return opts
 }
 
 // sweepOptsFrom reconstructs the kernel-sweep configuration from the

@@ -1,0 +1,107 @@
+// Command cmtserve is the simulation-as-a-service front end: a
+// multi-tenant HTTP job server over the in-process CMT-bone solver.
+// Clients POST simulation specs to /jobs; the server admits, queues,
+// and runs them over a fixed pool of runner slots with per-tenant
+// quotas, fair-share dispatch, and priority preemption through
+// in-memory checkpoints (see internal/serve).
+//
+// Example:
+//
+//	cmtserve -addr :8080 -slots 2 &
+//	curl -s localhost:8080/jobs -d '{"tenant":"demo","ranks":4,"steps":20}'
+//	curl -s localhost:8080/jobs/1
+//	curl -sN localhost:8080/jobs/1/steps
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmtserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	slots := flag.Int("slots", 2, "runner slots (jobs executing concurrently)")
+	maxRanks := flag.Int("max-ranks", 0, "admission limit: ranks per job (0 = default)")
+	maxN := flag.Int("max-n", 0, "admission limit: polynomial order (0 = default)")
+	maxSteps := flag.Int("max-steps", 0, "admission limit: step budget (0 = default)")
+	maxElems := flag.Int("max-elems", 0, "admission limit: global elements per job (0 = default)")
+	maxQueued := flag.Int("max-queued", 0, "per-tenant queued-job quota (0 = default)")
+	maxRunning := flag.Int("max-running", 0, "per-tenant running-job quota (0 = default)")
+	metricsOut := flag.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file at shutdown")
+	cli.Parse()
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		Slots: *slots,
+		Limits: serve.Limits{
+			MaxRanks: *maxRanks, MaxN: *maxN, MaxSteps: *maxSteps,
+			MaxElems: *maxElems, MaxQueuedPerTenant: *maxQueued,
+			MaxRunningPerTenant: *maxRunning,
+		},
+		Metrics: reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("cmtserve: listening on %s (%d slots)\n", ln.Addr(), *slots)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sigc:
+		log.Printf("%v: draining jobs and shutting down", s)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Stop accepting, cancel every job (running jobs stop collectively at
+	// their next step boundary), drain the slots, then flush telemetry.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Shutdown()
+
+	if *metricsOut != "" {
+		if err := writeSnapshot(*metricsOut, reg); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+	}
+	fmt.Println("cmtserve: shutdown complete, telemetry flushed")
+}
+
+func writeSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// WriteBytes serializes rank state s at the given step/time into a fresh
+// byte slice — byte-for-byte the content WriteFile would put on disk, so
+// in-memory checkpoints (job suspend/resume, migration between runner
+// slots) and restart files stay one format. No temp-dir round trip.
+func WriteBytes(s *solver.Solver, step int64, time float64) ([]byte, error) {
+	var buf bytes.Buffer
+	// Header + gids + five field arrays of float64.
+	n3 := s.Cfg.N * s.Cfg.N * s.Cfg.N
+	buf.Grow(8 + 52 + 8*s.Local.Nel + 8*solver.NumFields*s.Local.Nel*n3)
+	if err := Write(&buf, s, step, time); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadBytes parses a checkpoint from an in-memory image produced by
+// WriteBytes (or read from a checkpoint file — the formats are
+// identical).
+func ReadBytes(b []byte) (*Snapshot, error) {
+	snap, err := Read(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// RestoreBytes is the suspend/resume fast path: decode an in-memory
+// checkpoint and copy it into a compatible solver, returning the
+// recorded step and simulated time.
+func RestoreBytes(s *solver.Solver, b []byte) (step int64, time float64, err error) {
+	snap, err := ReadBytes(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: restore from memory: %w", err)
+	}
+	return Restore(s, snap)
+}

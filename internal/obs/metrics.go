@@ -13,7 +13,19 @@ import (
 // registry; instruments are get-or-create, so independent layers can
 // charge the same metric. Snapshot serializes the whole registry for
 // expvar and the step-metrics stream.
+//
+// A Registry value is a view onto shared storage: WithPrefix returns a
+// view that namespaces every instrument name, so concurrent tenants
+// (e.g. jobs of the simulation server) charge disjoint metrics through
+// one registry without colliding. All views share one lock and one
+// snapshot.
 type Registry struct {
+	prefix string
+	core   *registryCore
+}
+
+// registryCore is the storage every prefixed view of a registry shares.
+type registryCore struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -22,11 +34,23 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{core: &registryCore{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// WithPrefix returns a view of the same registry that prepends prefix to
+// every instrument name (prefixes compose: r.WithPrefix("job42_").
+// Counter("steps") is the shared metric "job42_steps"). Snapshot and
+// Counters on any view still see the whole registry under full names.
+// Nil registries stay nil-safe: the view's instruments are throwaways.
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	if r == nil {
+		return nil
 	}
+	return &Registry{prefix: r.prefix + prefix, core: r.core}
 }
 
 // Counter returns the named monotonic counter, creating it on first
@@ -36,14 +60,16 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return &Counter{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	name = r.prefix + name
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.counters[name]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		ctr = &Counter{}
+		c.counters[name] = ctr
 	}
-	return c
+	return ctr
 }
 
 // Gauge returns the named last-value gauge, creating it on first use.
@@ -51,12 +77,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return &Gauge{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	name = r.prefix + name
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.gauges[name]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		c.gauges[name] = g
 	}
 	return g
 }
@@ -68,48 +96,54 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return newHistogram(bounds)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	name = r.prefix + name
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hists[name]
 	if !ok {
 		h = newHistogram(bounds)
-		r.hists[name] = h
+		c.hists[name] = h
 	}
 	return h
 }
 
-// Counters returns a point-in-time copy of every counter value.
+// Counters returns a point-in-time copy of every counter value in the
+// whole registry (all views, full names).
 func (r *Registry) Counters() map[string]int64 {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters))
-	for name, c := range r.counters {
-		out[name] = c.Value()
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for name, ctr := range c.counters {
+		out[name] = ctr.Value()
 	}
 	return out
 }
 
 // Snapshot returns the full registry state as a JSON-ready tree — the
-// value served under expvar and embedded in step records.
+// value served under expvar and embedded in step records. Prefixed
+// views appear under their full names.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	counters := make(map[string]int64, len(r.counters))
-	for name, c := range r.counters {
-		counters[name] = c.Value()
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	counters := make(map[string]int64, len(c.counters))
+	for name, ctr := range c.counters {
+		counters[name] = ctr.Value()
 	}
-	gauges := make(map[string]float64, len(r.gauges))
-	for name, g := range r.gauges {
+	gauges := make(map[string]float64, len(c.gauges))
+	for name, g := range c.gauges {
 		gauges[name] = g.Value()
 	}
-	hists := make(map[string]any, len(r.hists))
-	for name, h := range r.hists {
+	hists := make(map[string]any, len(c.hists))
+	for name, h := range c.hists {
 		hists[name] = h.snapshot()
 	}
 	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/diag"
+	"repro/internal/fault"
+	"repro/internal/gs"
+	"repro/internal/solver"
+)
+
+// segment is the outcome of one dispatch: a job runs in segments
+// separated by suspensions, each segment one comm.Run on one slot.
+type segment struct {
+	mu        sync.Mutex
+	canceled  bool
+	snaps     [][]byte // non-nil when the segment suspended
+	stopStep  int      // first step of the next segment after a suspend
+	report    solver.Report
+	diag      diag.Summary
+	completed bool
+	topo      []*gs.Topology // extracted on cold runs for the cache
+}
+
+// runSegment executes one segment of job j on the given slot: build the
+// solver on every rank (reusing cached artifacts), restore the suspend
+// image or set the initial condition, then step until the budget is
+// spent or the ranks collectively observe a suspend/cancel flag. Runs on
+// its own goroutine; rejoins the scheduler through segmentExit.
+func (s *Server) runSegment(j *Job, slot int) {
+	defer s.wg.Done()
+	spec := j.Spec.withDefaults()
+	cfg, model := j.Spec.solverConfig()
+	key := j.Spec.cacheKey()
+
+	art, warm := s.cache.acquire(key)
+	cfg.Ref = art.ref
+	if warm {
+		cfg.GSTopo = art.topo
+	}
+	jobReg := s.metrics.WithPrefix(fmt.Sprintf("job%d_", j.ID))
+	cfg.Metrics = jobReg
+
+	opts := comm.Options{Model: model, Grid: cfg.ProcGrid, Periodic: cfg.Periodic}
+	if spec.Faults != nil {
+		opts.Faults = fault.NewInjector(spec.Faults, spec.Ranks, jobReg)
+	}
+
+	resume := j.snaps // scheduler wrote these before dispatch; stable now
+	startStep := j.resumeStep
+	firstSegment := resume == nil
+	if firstSegment {
+		j.mu.Lock()
+		j.cacheHit = warm
+		j.mu.Unlock()
+	}
+	seg := &segment{}
+	segStart := time.Now()
+
+	stats, runErr := comm.Run(spec.Ranks, opts, func(r *comm.Rank) error {
+		sv, err := solver.New(r, cfg)
+		if err != nil {
+			return err
+		}
+		defer sv.Close()
+		if resume != nil {
+			_, tm, err := checkpoint.RestoreBytes(sv, resume[r.ID()])
+			if err != nil {
+				return err
+			}
+			sv.SetSimTime(tm)
+		} else {
+			sv.SetInitial(solver.GaussianPulse(
+				float64(cfg.ElemGrid[0])/2, float64(cfg.ElemGrid[1])/2, float64(cfg.ElemGrid[2])/2,
+				0.1, 0.5))
+		}
+		if r.ID() == 0 && firstSegment {
+			j.mu.Lock()
+			j.setupS = time.Since(segStart).Seconds()
+			j.mu.Unlock()
+		}
+
+		var dt float64
+		stop := ctlNone
+		step := startStep
+		for step < spec.Steps {
+			dt = sv.AdvanceStep(step)
+			step++
+			if r.ID() == 0 {
+				if step == 1 {
+					t := time.Since(j.submitted).Seconds()
+					j.mu.Lock()
+					j.ttfs = t
+					j.mu.Unlock()
+					s.hTTFS.Observe(t)
+				}
+				j.appendStep(StepEvent{Step: step - 1, Dt: dt, SimTime: sv.SimTime(), VT: r.Clock().Now()})
+			}
+			// All ranks agree on the control flag at the same step
+			// boundary — a collective max, so a flag raised mid-step is
+			// either seen by everyone or by no one this step. Individual
+			// flag reads would let ranks part ways and deadlock.
+			ctl := r.AllreduceInts(comm.OpMax, []int64{j.ctl.Load()})
+			if ctl[0] != ctlNone {
+				stop = ctl[0]
+				break
+			}
+		}
+
+		switch {
+		case stop == ctlCancel:
+			if r.ID() == 0 {
+				seg.mu.Lock()
+				seg.canceled = true
+				seg.mu.Unlock()
+			}
+		case stop == ctlSuspend:
+			buf, err := checkpoint.WriteBytes(sv, int64(step), sv.SimTime())
+			if err != nil {
+				return err
+			}
+			seg.mu.Lock()
+			if seg.snaps == nil {
+				seg.snaps = make([][]byte, spec.Ranks)
+			}
+			seg.snaps[r.ID()] = buf
+			seg.stopStep = step
+			seg.mu.Unlock()
+		default: // budget spent: the collective finish
+			rep := sv.FinishReport(spec.Steps, dt)
+			d := diag.Compute(sv)
+			if r.ID() == 0 {
+				seg.mu.Lock()
+				seg.report, seg.diag, seg.completed = rep, d, true
+				seg.mu.Unlock()
+			}
+		}
+
+		if !warm {
+			seg.mu.Lock()
+			if seg.topo == nil {
+				seg.topo = make([]*gs.Topology, spec.Ranks)
+			}
+			seg.topo[r.ID()] = sv.GS().Topology()
+			seg.mu.Unlock()
+		}
+		return nil
+	})
+
+	var makespan float64
+	if stats != nil {
+		for _, vt := range stats.VirtualTimes {
+			if vt > makespan {
+				makespan = vt
+			}
+		}
+	}
+	if runErr == nil {
+		s.cache.donate(key, completeTopo(seg.topo, spec.Ranks))
+	}
+	s.segmentExit(j, slot, spec, seg, runErr, makespan, time.Since(segStart).Seconds())
+}
+
+// completeTopo returns topo only when every rank contributed (an errored
+// run may leave holes, and a partial table must never enter the cache).
+func completeTopo(topo []*gs.Topology, ranks int) []*gs.Topology {
+	if len(topo) != ranks {
+		return nil
+	}
+	for _, t := range topo {
+		if t == nil {
+			return nil
+		}
+	}
+	return topo
+}
+
+// segmentExit rejoins the scheduler: free the slot, charge the tenant's
+// fair share, transition the job, and dispatch whatever the freed slot
+// (or a requeued suspension) unblocks.
+func (s *Server) segmentExit(j *Job, slot int, spec JobSpec, seg *segment, runErr error, makespan, wall float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, j.ID)
+	s.freeSlots = append(s.freeSlots, slot)
+	s.usage[spec.Tenant] += wall * float64(spec.Ranks)
+
+	j.mu.Lock()
+	j.makespan += makespan
+	j.mu.Unlock()
+
+	switch {
+	case runErr != nil:
+		j.snaps = nil
+		j.fail(runErr)
+		s.metrics.Counter("serve_jobs_failed").Add(1)
+	case seg.canceled || j.cancel.Load():
+		j.snaps = nil
+		j.setState(StateCanceled)
+		s.metrics.Counter("serve_jobs_canceled").Add(1)
+	case seg.snaps != nil:
+		// Preempted: hold the images and rejoin the queue.
+		j.snaps = seg.snaps
+		j.resumeStep = seg.stopStep
+		lat := time.Since(j.preemptReq).Seconds()
+		j.mu.Lock()
+		j.preemptions++
+		j.preemptLat = lat
+		j.mu.Unlock()
+		s.hPreempt.Observe(lat)
+		s.metrics.Counter("serve_preemptions").Add(1)
+		j.setState(StateSuspended)
+		s.queue = append(s.queue, j)
+	case seg.completed:
+		res := resultFrom(spec.Steps, seg.report.Dt, seg.report.Mass, seg.report.Energy,
+			seg.report.WaveSpeed, seg.diag, 0, spec.GS)
+		j.mu.Lock()
+		res.MakespanS = j.makespan
+		j.result = res
+		j.state = StateDone
+		j.snaps = nil
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		s.metrics.Counter("serve_jobs_done").Add(1)
+	default:
+		// A run that neither completed, suspended, nor canceled and
+		// reported no error cannot happen; fail loudly rather than hang.
+		j.fail(fmt.Errorf("serve: job %d segment ended with no outcome", j.ID))
+		s.metrics.Counter("serve_jobs_failed").Add(1)
+	}
+	s.scheduleLocked()
+}

@@ -158,6 +158,23 @@ type Config struct {
 	// describes and be identical on every rank.
 	Ownership *mesh.Ownership
 
+	// Ref, when non-nil, is a prebuilt reference element reused instead
+	// of rebuilding the LGL (or Gauss-dealiasing) operators — the
+	// operator-matrix half of a setup-artifact cache. It must have been
+	// built for the same N and the same GaussDealias choice; New
+	// verifies the order and falls back to a fresh build on mismatch.
+	Ref *sem.Ref1D
+
+	// GSTopo, when non-nil, is a per-rank table of prebuilt
+	// gather-scatter topologies (indexed by rank id, extracted by
+	// gs.GS.Topology from an identical earlier run): ranks with an entry
+	// skip the collective gs_setup discovery phase entirely. It only
+	// applies to the initial setup over the starting partition; element
+	// migration (Remap, post-Shrink rebuilds) always rediscovers.
+	// Entries must cover all ranks or none — a partial table would leave
+	// some ranks waiting in a collective the others skip.
+	GSTopo []*gs.Topology
+
 	// Workers is the intra-rank worker-pool width for the
 	// element-indexed kernels (two-level concurrency: ranks x workers).
 	// Elements write disjoint output, so results are bit-identical at
@@ -245,6 +262,18 @@ func (c *Config) Validate(p int) error {
 	for gid, m := range c.HotElems {
 		if m <= 0 {
 			return fmt.Errorf("solver: hot element %d has non-positive multiplier %g", gid, m)
+		}
+	}
+	if c.GSTopo != nil {
+		// All ranks or none: gs_setup discovery is collective, so a rank
+		// skipping it while another runs it would deadlock the setup.
+		if len(c.GSTopo) < p {
+			return fmt.Errorf("solver: GSTopo covers %d ranks, communicator has %d", len(c.GSTopo), p)
+		}
+		for q := 0; q < p; q++ {
+			if c.GSTopo[q] == nil {
+				return fmt.Errorf("solver: GSTopo entry for rank %d is nil (table must cover all ranks or none)", q)
+			}
 		}
 	}
 	return nil

@@ -130,9 +130,18 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 		}
 		local = cfg.Ownership.Partition(r.ID())
 	}
-	ref := sem.NewRef1D(cfg.N)
-	if cfg.Dealias && cfg.GaussDealias {
-		ref = sem.NewRef1DGauss(cfg.N)
+	ref := cfg.Ref
+	if ref != nil && ref.N != cfg.N {
+		// A cache entry recorded for a different order is useless here;
+		// rebuilding is always correct.
+		ref = nil
+	}
+	if ref == nil {
+		if cfg.Dealias && cfg.GaussDealias {
+			ref = sem.NewRef1DGauss(cfg.N)
+		} else {
+			ref = sem.NewRef1D(cfg.N)
+		}
 	}
 	if cfg.TuneMxM {
 		sem.TuneMxMDefault()
@@ -167,7 +176,21 @@ func New(r *comm.Rank, cfg Config) (*Solver, error) {
 	}
 	s.allocScratch()
 
-	s.setupGS()
+	if cfg.GSTopo != nil {
+		// Cache hit: rebuild the gather-scatter handle from the recorded
+		// discovery result — no setup collectives at all. Validate
+		// guaranteed the table covers every rank, so the skip is
+		// symmetric.
+		gsh, err := gs.SetupFromTopology(r, cfg.GSTopo[r.ID()])
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("solver: cached gs topology: %w", err)
+		}
+		s.gsh = gsh
+		s.gsh.SetSpanner(s.rt)
+	} else {
+		s.setupGS()
+	}
 	if cfg.AutoTune {
 		stop := s.span("gs_autotune", obs.CatComm)
 		gs.TuneModeled(s.gsh, cfg.TuneTrials)
