@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-serve bench-all bench-diff generate generate-check test-noasm serve-smoke
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-serve bench-all bench-diff generate generate-check test-noasm serve-smoke tcp-smoke
 
 all: check
 
@@ -38,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -race -run '^$$' -fuzz '^FuzzDecodeOwnershipWire$$' -fuzztime 10s ./internal/mesh/
 	$(GO) test -race -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s ./internal/fault/
 	$(GO) test -race -run '^$$' -fuzz '^FuzzMxMVariants$$' -fuzztime 10s ./internal/sem/
+	$(GO) test -race -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/comm/tcptransport/
 
 # Re-run the kernel generator (internal/sem/gen) over the committed
 # generated sources.
@@ -73,7 +74,14 @@ bench-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-check: vet build test race chaos test-noasm bench-sweep bench-smoke serve-smoke
+# Multi-process transport smoke: the canonical scalebench scenario run
+# in-process and as 4 OS processes over localhost TCP must produce
+# byte-identical diagnostics (physics scalars, per-rank virtual clocks,
+# collectively-computed makespan).
+tcp-smoke:
+	./scripts/tcp_smoke.sh
+
+check: vet build test race chaos test-noasm bench-sweep bench-smoke serve-smoke tcp-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -21,6 +21,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cli"
 	"repro/internal/comm"
+	"repro/internal/comm/tcptransport"
 	"repro/internal/diag"
 	"repro/internal/fault"
 	"repro/internal/gs"
@@ -68,7 +69,23 @@ func main() {
 	lbThreshold := flag.Float64("imbalance-threshold", 1.2, "rank cost imbalance (max/mean) above which a rebalance is considered")
 	lbEvery := flag.Int("rebalance-every", 10, "steps between load-balance measure/decide epochs")
 	hotSpec := flag.String("hot", "", "comma-separated rank=factor pairs skewing per-element modeled cost (e.g. 3=4 makes rank 3's elements 4x)")
+	transportName := flag.String("transport", "inproc", "communicator backend: inproc (all ranks in this process) or tcp (this process hosts one rank of a multi-process run; see scripts/mpirun_tcp.sh)")
+	tcpRank := flag.Int("rank", -1, "world rank of this process (tcp transport)")
+	tcpPeers := flag.String("peers", "", "comma-separated listen addresses, one per rank, identical across all processes (tcp transport)")
+	tcpRdv := flag.String("rdv", "", "rendezvous file: rank 0 publishes its ephemeral address here, other ranks poll it (tcp transport; alternative to -peers)")
 	cli.Parse()
+
+	useTCP := *transportName == "tcp"
+	switch {
+	case *transportName != "inproc" && !useTCP:
+		log.Fatalf("-transport: unknown %q (want inproc or tcp)", *transportName)
+	case useTCP && (*tcpRank < 0 || *tcpRank >= *np):
+		log.Fatalf("-transport=tcp needs -rank in [0,%d)", *np)
+	case useTCP && *useLB:
+		// The balancer aggregates per-rank state in shared slices; over
+		// TCP each process only holds its own rank's share.
+		log.Fatalf("-transport=tcp cannot be combined with -loadbal")
+	}
 
 	cfg := solver.DefaultConfig(*np, *n, *local)
 	if *gridStr != "" {
@@ -231,9 +248,14 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
-		*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
-		cfg.ElemGrid[0]*cfg.ElemGrid[1]*cfg.ElemGrid[2] / *np, cfg.N, *steps, *gsName, model.Name)
+	if !useTCP || *tcpRank == 0 {
+		fmt.Printf("CMT-bone: %d ranks (%dx%dx%d), %d elements/rank, N=%d, %d steps, gs=%s net=%s\n",
+			*np, cfg.ProcGrid[0], cfg.ProcGrid[1], cfg.ProcGrid[2],
+			cfg.ElemGrid[0]*cfg.ElemGrid[1]*cfg.ElemGrid[2] / *np, cfg.N, *steps, *gsName, model.Name)
+	}
+	if useTCP {
+		fmt.Printf("transport: tcp, this process is rank %d of %d\n", *tcpRank, *np)
+	}
 	if cfg.Workers > 1 {
 		fmt.Printf("worker pool: %d workers per rank (wall time only; modeled time unchanged)\n", cfg.Workers)
 	}
@@ -251,7 +273,25 @@ func main() {
 	var flowDiag diag.Summary
 	var spectrum diag.Spectrum
 	recoveries := make([]int, *np)
-	stats, err := comm.Run(*np, opts, func(r *comm.Rank) error {
+	// runComm dispatches between the in-process reference backend and the
+	// TCP transport. The rank program, the modeled clocks, and therefore
+	// every physics diagnostic are identical either way; over TCP this
+	// process simply hosts one rank and reports that rank's view.
+	runComm := func(fn func(*comm.Rank) error) (*comm.Stats, error) {
+		if !useTCP {
+			return comm.Run(*np, opts, fn)
+		}
+		tcfg := tcptransport.Config{Rank: *tcpRank, Size: *np, RendezvousFile: *tcpRdv}
+		if *tcpPeers != "" {
+			tcfg.Peers = strings.Split(*tcpPeers, ",")
+		}
+		tr, err := tcptransport.New(tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("tcp transport: %w", err)
+		}
+		return comm.RunDistributed(tr, opts, fn)
+	}
+	stats, err := runComm(func(r *comm.Rank) error {
 		s, err := solver.New(r, cfg)
 		if err != nil {
 			return err

@@ -102,10 +102,33 @@ func (r *Rank) sendRaw(dst, tag int, data []float64, ints []int64) int64 {
 	return r.deliver(dst, tag, data, ints)
 }
 
+// recvRaw blocks for a collective round's message with fail-fast death
+// semantics: if ANY member of the communicator dies while this rank is
+// blocked — not just the partner it is receiving from — the wait unwinds
+// with a typed DeadRankError instead of hanging on a contribution that
+// can never be forwarded. Queued messages (including the retransmission
+// after a rejected CRC frame) are always drained first, so a member that
+// finished its part of the collective before dying cannot abort it. The
+// blocking collectives surface the error as a panicked DeadRankError,
+// like every blocking receive; BarrierErr/AllreduceErr return it.
 func (r *Rank) recvRaw(src, tag int) *message {
-	m := r.mustTake(src, tag)
-	r.clock.WaitUntil(m.arrival)
-	return m
+	return r.recvRawColl(src, tag, nil)
+}
+
+// recvRawColl is recvRaw scoped to a member subset (a split Group):
+// only the death of a participant fails the collective, never that of
+// an unrelated world rank.
+func (r *Rank) recvRawColl(src, tag int, members []int) *message {
+	for {
+		m, err := r.comm.boxes[r.id].takeCollective(src, tag, r.comm, members)
+		if err != nil {
+			panic(err)
+		}
+		if r.frameOK(m) {
+			r.clock.WaitUntil(m.arrival)
+			return m
+		}
+	}
 }
 
 // freeRaw recycles a raw message whose payload has been fully consumed
@@ -146,6 +169,35 @@ func (r *Rank) Barrier() {
 		r.freeRaw(r.recvRaw((id-k%p+p)%p, tag))
 	}
 	coll.done(bytes)
+}
+
+// catchDead converts a panicked DeadRankError into a returned error;
+// any other panic propagates. It backs the *Err collective variants.
+func catchDead(err *error) {
+	if p := recover(); p != nil {
+		if d, ok := p.(DeadRankError); ok {
+			*err = d
+			return
+		}
+		panic(p)
+	}
+}
+
+// BarrierErr is Barrier returning a typed error: if any member of the
+// communicator dies while this rank is inside the barrier, it returns
+// the DeadRankError instead of unwinding the goroutine — the form
+// recovery protocols use to observe a failure and move to Shrink.
+func (r *Rank) BarrierErr() (err error) {
+	defer catchDead(&err)
+	r.Barrier()
+	return nil
+}
+
+// AllreduceErr is Allreduce returning a typed error on member death;
+// data is garbage when err is non-nil.
+func (r *Rank) AllreduceErr(op ReduceOp, data []float64) (out []float64, err error) {
+	defer catchDead(&err)
+	return r.Allreduce(op, data), nil
 }
 
 // Bcast broadcasts data from root using a binomial tree. Non-root ranks

@@ -103,6 +103,19 @@ type Comm struct {
 	// recycling is opt-in, so payload slices handed out by Recv/Wait
 	// stay valid indefinitely unless the receiver frees them.
 	msgPool sync.Pool
+
+	// Distributed-run state, set only on the root (world) communicator of
+	// a RunDistributed process and reached through root from
+	// sub-communicators. localWorld[w] reports whether world rank w is
+	// hosted in this process; nil means all ranks are local (the
+	// in-process backend), which keeps the hot send path free of any
+	// transport overhead. ctx is this communicator's routing id in the
+	// per-process registry (worldCtx for the world communicator).
+	root       *Comm
+	transport  Transport
+	localWorld []bool
+	reg        *ctxRegistry
+	ctx        uint64
 }
 
 // getMessage returns a recycled message envelope, or a fresh one.
@@ -127,6 +140,26 @@ func (c *Comm) directEligible() bool { return !c.crc && c.faults == nil }
 
 // rankDead reports whether member id of this communicator was killed.
 func (c *Comm) rankDead(id int) bool { return c.dead[id].Load() }
+
+// firstDead returns the lowest dead member id among members (every
+// member of the communicator when members is nil), or -1 when all are
+// alive.
+func (c *Comm) firstDead(members []int) int {
+	if members == nil {
+		for id := 0; id < c.size; id++ {
+			if c.dead[id].Load() {
+				return id
+			}
+		}
+		return -1
+	}
+	for _, id := range members {
+		if c.dead[id].Load() {
+			return id
+		}
+	}
+	return -1
+}
 
 // worldIDOf translates a member id of this communicator to the original
 // world numbering.
@@ -278,19 +311,15 @@ func (s *Stats) MaxVirtualTime() float64 {
 	return max
 }
 
-// Run spawns size ranks, each executing fn concurrently, and waits for all
-// of them. The first error (or recovered panic) aborts the run: all
-// mailboxes are closed so blocked ranks unwind promptly. On success the
-// returned Stats carries every rank's MPI profile and virtual clock.
-func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
-	if size < 1 {
-		return nil, fmt.Errorf("comm: size must be >= 1, got %d", size)
-	}
+// newComm builds a world communicator from Options. It is shared by Run
+// (in-process, all ranks local) and RunDistributed (some ranks remote).
+func newComm(size int, opts Options) (*Comm, error) {
 	model := opts.Model
 	if model.Name == "" {
 		model = netmodel.Loopback
 	}
 	c := &Comm{size: size, model: model, tracer: opts.Tracer}
+	c.root = c
 	c.faults = opts.Faults
 	c.crc = opts.CRC || opts.Faults != nil
 	c.dead = make([]atomic.Bool, size)
@@ -306,12 +335,25 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 	for i := range c.boxes {
 		c.boxes[i] = newMailbox()
 	}
+	return c, nil
+}
 
+// runRanks spawns one goroutine per rank in locals, each executing fn,
+// and waits for all of them — the shared execution core of Run and
+// RunDistributed. The first error (or recovered panic) aborts the run:
+// all mailboxes are closed so blocked ranks unwind promptly. Ranks not in
+// locals are hosted elsewhere; their Stats entries stay zero (with empty
+// profiles, so aggregations need no nil checks).
+func runRanks(c *Comm, opts Options, locals []int, fn func(*Rank) error) (*Stats, error) {
+	size := c.size
 	stats := &Stats{
 		Size:          size,
 		VirtualTimes:  make([]float64, size),
 		Profiles:      make([]*Profile, size),
 		OverlapHidden: make([]float64, size),
+	}
+	for id := 0; id < size; id++ {
+		stats.Profiles[id] = newProfile(id)
 	}
 	errs := make([]error, size)
 	var wg sync.WaitGroup
@@ -322,14 +364,14 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 	var killedMu sync.Mutex
 
 	start := time.Now()
-	for id := 0; id < size; id++ {
+	for _, id := range locals {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			r := &Rank{
 				comm:  c,
 				id:    id,
-				clock: netmodel.NewClock(model),
+				clock: netmodel.NewClock(c.model),
 				prof:  newProfile(id),
 			}
 			if opts.ComputeFactors != nil && id < len(opts.ComputeFactors) {
@@ -388,6 +430,25 @@ func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
 		return nil, aborted
 	}
 	return stats, nil
+}
+
+// Run spawns size ranks, each executing fn concurrently, and waits for all
+// of them. The first error (or recovered panic) aborts the run: all
+// mailboxes are closed so blocked ranks unwind promptly. On success the
+// returned Stats carries every rank's MPI profile and virtual clock.
+func Run(size int, opts Options, fn func(*Rank) error) (*Stats, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: size must be >= 1, got %d", size)
+	}
+	c, err := newComm(size, opts)
+	if err != nil {
+		return nil, err
+	}
+	locals := make([]int, size)
+	for i := range locals {
+		locals[i] = i
+	}
+	return runRanks(c, opts, locals, fn)
 }
 
 // RunSimple is Run with the loopback network model and no grid. It is the

@@ -1,0 +1,72 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+)
+
+// TestMain dispatches worker mode before any tests run: when the TCP
+// harness re-executes this binary with the conformance environment set,
+// WorkerMain runs one contract rank and exits the process.
+func TestMain(m *testing.M) {
+	WorkerMain()
+	os.Exit(m.Run())
+}
+
+func TestConformanceInProcess(t *testing.T) {
+	for i := range Contracts {
+		c := &Contracts[i]
+		for _, seed := range c.SeedList() {
+			t.Run(fmt.Sprintf("%s/seed=%d", c.Name, seed), func(t *testing.T) {
+				if _, err := RunInProcess(c, seed); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceTCP runs the same contract table with one OS process
+// per rank over real sockets, and for deterministic contracts demands
+// the merged outcome be bit-identical to a fresh in-process run: same
+// per-rank virtual clocks, same CRC-rejection and retransmission
+// counters.
+func TestConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for i := range Contracts {
+		c := &Contracts[i]
+		for _, seed := range c.SeedList() {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", c.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				got, err := RunTCP(c, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !c.Deterministic {
+					return
+				}
+				want, err := RunInProcess(c, seed)
+				if err != nil {
+					t.Fatalf("in-process reference: %v", err)
+				}
+				for rank := range want.VirtualTimes {
+					if math.Float64bits(got.VirtualTimes[rank]) != math.Float64bits(want.VirtualTimes[rank]) {
+						t.Errorf("rank %d virtual time %v over TCP, %v in-process (not bit-identical)",
+							rank, got.VirtualTimes[rank], want.VirtualTimes[rank])
+					}
+				}
+				if got.CRCDetected != want.CRCDetected {
+					t.Errorf("CRC rejections: %d over TCP, %d in-process", got.CRCDetected, want.CRCDetected)
+				}
+				if got.Retransmits != want.Retransmits {
+					t.Errorf("retransmissions: %d over TCP, %d in-process", got.Retransmits, want.Retransmits)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/netmodel"
+)
+
+// Contracts is the table every backend must pass. Contract programs only
+// use seed-derived data — each rank can reconstruct every other rank's
+// inputs locally, so serial references need no side channel (the ranks
+// may be in different OS processes).
+var Contracts = []Contract{
+	{
+		// Messages between one (src, dst) pair with one tag arrive in
+		// send order; interleaved tags do not disturb each other's order.
+		Name:          "fifo-order",
+		Ranks:         2,
+		Deterministic: true,
+		Opts:          gigeOpts,
+		Rank: func(r *comm.Rank, seed int64) error {
+			const n = 50
+			peer := 1 - r.ID()
+			for i := 0; i < n; i++ {
+				r.IsendMsg(peer, 5, []float64{float64(seed)}, []int64{int64(i)})
+				r.IsendMsg(peer, 6, nil, []int64{int64(-i)})
+			}
+			for i := 0; i < n; i++ {
+				_, ints, _ := r.RecvMsg(peer, 5)
+				if len(ints) != 1 || ints[0] != int64(i) {
+					return fmt.Errorf("tag 5 message %d out of order: %v", i, ints)
+				}
+				_, ints, _ = r.RecvMsg(peer, 6)
+				if len(ints) != 1 || ints[0] != int64(-i) {
+					return fmt.Errorf("tag 6 message %d out of order: %v", i, ints)
+				}
+			}
+			return nil
+		},
+	},
+	{
+		// Nonblocking sends match nonblocking receives across tags and
+		// AnySource, with payloads intact.
+		Name:          "isend-irecv-matching",
+		Ranks:         3,
+		Deterministic: true,
+		Opts:          gigeOpts,
+		Rank: func(r *comm.Rank, seed int64) error {
+			id, size := r.ID(), r.Size()
+			const per = 10
+			var reqs []*comm.Request
+			for peer := 0; peer < size; peer++ {
+				if peer == id {
+					continue
+				}
+				for k := 0; k < per; k++ {
+					src := peer
+					if k%2 == 1 {
+						src = comm.AnySource
+					}
+					reqs = append(reqs, r.Irecv(src, 10+k))
+				}
+			}
+			for peer := 0; peer < size; peer++ {
+				if peer == id {
+					continue
+				}
+				rng := rankRNG(seed, id, peer)
+				for k := 0; k < per; k++ {
+					r.IsendMsg(peer, 10+k, []float64{rng.Float64()}, []int64{int64(id)})
+				}
+			}
+			for _, req := range reqs {
+				data, ints, err := req.WaitErr()
+				if err != nil {
+					return err
+				}
+				if len(data) != 1 || len(ints) != 1 {
+					return fmt.Errorf("payload shape %d/%d", len(data), len(ints))
+				}
+				if src := int(ints[0]); src == id || src < 0 || src >= size {
+					return fmt.Errorf("impossible source %d", src)
+				}
+				req.Free()
+			}
+			return nil
+		},
+	},
+	{
+		// Receives posted before the matching send arrives complete with
+		// the right payload — on the in-process backend this is the
+		// direct-delivery fast path (no staging copy); over TCP the frame
+		// lands in the posted request from the reader goroutine.
+		Name:          "posted-direct-delivery",
+		Ranks:         2,
+		Deterministic: true,
+		Opts:          gigeOpts,
+		Rank: func(r *comm.Rank, seed int64) error {
+			peer := 1 - r.ID()
+			const n = 20
+			reqs := make([]*comm.Request, n)
+			for i := range reqs {
+				reqs[i] = r.Irecv(peer, 3)
+			}
+			// Both sides have posted everything before either sends: the
+			// ready handshake guarantees the receives exist first.
+			r.Send(peer, 1, nil)
+			r.Recv(peer, 1)
+			rng := rankRNG(seed, r.ID(), peer)
+			for i := 0; i < n; i++ {
+				r.Isend(peer, 3, []float64{rng.Float64(), float64(i)})
+			}
+			want := rankRNG(seed, peer, r.ID())
+			for i, req := range reqs {
+				data, _, err := req.WaitErr()
+				if err != nil {
+					return err
+				}
+				if len(data) != 2 || data[0] != want.Float64() || data[1] != float64(i) {
+					return fmt.Errorf("posted receive %d got %v", i, data)
+				}
+				req.Free()
+			}
+			return nil
+		},
+	},
+	{
+		// Collectives agree with serial references computed locally from
+		// the shared seed: allreduce over all ops, bcast, allgather.
+		Name:          "collectives-vs-serial",
+		Ranks:         5,
+		Deterministic: true,
+		Opts:          gigeOpts,
+		Rank:          collectivesVsSerial,
+	},
+	{
+		// Injected corruption is detected by CRC and retransmitted; drops
+		// are retransmitted. Payloads still arrive exact, and both
+		// counters prove the machinery actually fired.
+		Name:          "crc-reject-retransmit",
+		Ranks:         3,
+		Deterministic: true,
+		Opts: func() comm.Options {
+			return comm.Options{Model: netmodel.GigE, Faults: &cyclingFaults{n: 2}}
+		},
+		Rank: func(r *comm.Rank, seed int64) error {
+			id, size := r.ID(), r.Size()
+			rng := rankRNG(seed, id, 0)
+			for round := 0; round < 8; round++ {
+				peer := (id + 1 + round%(size-1)) % size
+				payload := []float64{float64(rng.Intn(1000)), float64(round)}
+				r.Isend(peer, 20+round, payload)
+			}
+			for round := 0; round < 8; round++ {
+				from := (id - 1 - round%(size-1) + 2*size) % size
+				want := rankRNG(seed, from, 0)
+				for skip := 0; skip < round; skip++ {
+					want.Intn(1000)
+				}
+				data := r.Recv(from, 20+round)
+				if len(data) != 2 || data[0] != float64(want.Intn(1000)) || data[1] != float64(round) {
+					return fmt.Errorf("round %d from %d: corrupted payload survived: %v", round, from, data)
+				}
+			}
+			sum := r.Allreduce(comm.OpSum, []float64{1})
+			if sum[0] != float64(size) {
+				return fmt.Errorf("faulted allreduce = %v, want %d", sum[0], size)
+			}
+			return nil
+		},
+		Check: func(m *Merged, seed int64) error {
+			if m.CRCDetected == 0 {
+				return errors.New("fault plane injected corruption but no CRC rejection was recorded")
+			}
+			if m.Retransmits == 0 {
+				return errors.New("fault plane fired but no retransmissions were recorded")
+			}
+			return nil
+		},
+	},
+	{
+		// A dead peer surfaces as DeadRankError on receives that can
+		// never complete — after already-sent messages drain.
+		Name:  "dead-rank-error",
+		Ranks: 3,
+		Rank: func(r *comm.Rank, seed int64) error {
+			switch r.ID() {
+			case 0:
+				r.Send(1, 1, []float64{42})
+				r.Kill()
+			case 1:
+				if data := r.Recv(0, 1); len(data) != 1 || data[0] != 42 {
+					return fmt.Errorf("pre-death message lost: %v", data)
+				}
+				return wantDead(r.Irecv(0, 2), 0)
+			case 2:
+				return wantDead(r.Irecv(0, 3), 0)
+			}
+			return nil
+		},
+		Check: func(m *Merged, seed int64) error {
+			if len(m.Killed) != 1 || m.Killed[0] != 0 {
+				return fmt.Errorf("killed = %v, want [0]", m.Killed)
+			}
+			return nil
+		},
+	},
+	{
+		// A collective with a dead member fails fast with DeadRankError;
+		// survivors Shrink and the re-formed communicator's collectives
+		// work.
+		Name:  "shrink-reformation",
+		Ranks: 4,
+		Rank: func(r *comm.Rank, seed int64) error {
+			if r.ID() == 2 {
+				r.Kill()
+			}
+			if _, err := r.AllreduceErr(comm.OpSum, []float64{1}); !isDead(err, 2) {
+				return fmt.Errorf("collective with dead member: err = %v, want DeadRankError world 2", err)
+			}
+			sub, err := r.Shrink([]int{0, 1, 3})
+			if err != nil {
+				return fmt.Errorf("shrink: %v", err)
+			}
+			if sum := sub.Allreduce(comm.OpSum, []float64{1}); sum[0] != 3 {
+				return fmt.Errorf("shrunken allreduce = %v, want 3", sum[0])
+			}
+			worlds := sub.Allgather([]float64{float64(sub.WorldID())})
+			if fmt.Sprint(worlds) != "[0 1 3]" {
+				return fmt.Errorf("shrunken allgather world ids = %v, want [0 1 3]", worlds)
+			}
+			return nil
+		},
+		Check: func(m *Merged, seed int64) error {
+			if len(m.Killed) != 1 || m.Killed[0] != 2 {
+				return fmt.Errorf("killed = %v, want [2]", m.Killed)
+			}
+			return nil
+		},
+	},
+	{
+		// Satellite of internal/comm/property_test.go: the same class of
+		// randomized-collective properties, seeded so each rank derives
+		// the serial reference locally, run against every backend
+		// (multi-process over TCP) at several seeds.
+		Name:          "property-collectives",
+		Ranks:         5,
+		Deterministic: true,
+		Opts:          gigeOpts,
+		Rank:          propertyCollectives,
+		Seeds:         []int64{1, 2, 3},
+	},
+}
+
+func gigeOpts() comm.Options { return comm.Options{Model: netmodel.GigE} }
+
+// rankRNG derives a deterministic stream from (seed, a, b) so any rank
+// can reproduce any other rank's payloads.
+func rankRNG(seed int64, a, b int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(a)*9_697 + int64(b)))
+}
+
+func wantDead(req *comm.Request, world int) error {
+	_, _, err := req.WaitErr()
+	if !isDead(err, world) {
+		return fmt.Errorf("receive from dead rank: err = %v, want DeadRankError world %d", err, world)
+	}
+	return nil
+}
+
+func isDead(err error, world int) bool {
+	var dre comm.DeadRankError
+	return errors.As(err, &dre) && dre.World == world
+}
+
+// serialReduce folds op over per-rank inputs element-wise.
+func serialReduce(op comm.ReduceOp, inputs [][]float64) []float64 {
+	want := append([]float64(nil), inputs[0]...)
+	for i := 1; i < len(inputs); i++ {
+		for j := range want {
+			switch op {
+			case comm.OpSum:
+				want[j] += inputs[i][j]
+			case comm.OpProd:
+				want[j] *= inputs[i][j]
+			case comm.OpMin:
+				want[j] = math.Min(want[j], inputs[i][j])
+			case comm.OpMax:
+				want[j] = math.Max(want[j], inputs[i][j])
+			}
+		}
+	}
+	return want
+}
+
+// intPayload fills integer-valued float64s in [-8, 8) so sums and
+// products are exact regardless of reduction association order.
+func intPayload(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(16) - 8)
+	}
+	return out
+}
+
+func collectivesVsSerial(r *comm.Rank, seed int64) error {
+	id, size := r.ID(), r.Size()
+	const n = 16
+	inputs := make([][]float64, size)
+	for i := range inputs {
+		inputs[i] = intPayload(rankRNG(seed, i, 0), n)
+	}
+	for _, op := range []comm.ReduceOp{comm.OpSum, comm.OpProd, comm.OpMin, comm.OpMax} {
+		want := serialReduce(op, inputs)
+		got := r.Allreduce(op, append([]float64(nil), inputs[id]...))
+		for j := range want {
+			if got[j] != want[j] {
+				return fmt.Errorf("allreduce op %d element %d = %v, want %v", op, j, got[j], want[j])
+			}
+		}
+	}
+	for root := 0; root < size; root++ {
+		var in []float64
+		if id == root {
+			in = append([]float64(nil), inputs[root]...)
+		}
+		got := r.Bcast(root, in)
+		for j := range inputs[root] {
+			if got[j] != inputs[root][j] {
+				return fmt.Errorf("bcast root %d element %d = %v, want %v", root, j, got[j], inputs[root][j])
+			}
+		}
+	}
+	all := r.Allgather(append([]float64(nil), inputs[id]...))
+	if len(all) != size*n {
+		return fmt.Errorf("allgather length %d, want %d", len(all), size*n)
+	}
+	for i := 0; i < size; i++ {
+		for j := 0; j < n; j++ {
+			if all[i*n+j] != inputs[i][j] {
+				return fmt.Errorf("allgather rank %d element %d = %v, want %v", i, j, all[i*n+j], inputs[i][j])
+			}
+		}
+	}
+	if r.BarrierErr() != nil {
+		return errors.New("barrier failed with no dead ranks")
+	}
+	return nil
+}
+
+func propertyCollectives(r *comm.Rank, seed int64) error {
+	id, size := r.ID(), r.Size()
+	ops := []comm.ReduceOp{comm.OpSum, comm.OpProd, comm.OpMin, comm.OpMax}
+	for trial := 0; trial < 6; trial++ {
+		// Every rank derives the identical trial shape from the shared
+		// stream, then its own payload from a per-rank stream.
+		shape := rankRNG(seed, -1, trial)
+		n := 1 + shape.Intn(32)
+		op := ops[shape.Intn(len(ops))]
+		root := shape.Intn(size)
+		inputs := make([][]float64, size)
+		for i := range inputs {
+			inputs[i] = intPayload(rankRNG(seed, i, trial+1), n)
+		}
+		want := serialReduce(op, inputs)
+		got := r.Allreduce(op, append([]float64(nil), inputs[id]...))
+		for j := range want {
+			if got[j] != want[j] {
+				return fmt.Errorf("trial %d allreduce element %d = %v, want %v", trial, j, got[j], want[j])
+			}
+		}
+		gathered := r.Gather(root, append([]float64(nil), inputs[id]...))
+		if id == root {
+			for i := 0; i < size; i++ {
+				for j := 0; j < n; j++ {
+					if gathered[i*n+j] != inputs[i][j] {
+						return fmt.Errorf("trial %d gather rank %d element %d = %v, want %v",
+							trial, i, j, gathered[i*n+j], inputs[i][j])
+					}
+				}
+			}
+		} else if gathered != nil {
+			return fmt.Errorf("trial %d: non-root got non-nil gather result", trial)
+		}
+		scattered := r.Scatter(root, flatten(inputs, id == root), n)
+		for j := 0; j < n; j++ {
+			if scattered[j] != inputs[id][j] {
+				return fmt.Errorf("trial %d scatter element %d = %v, want %v", trial, j, scattered[j], inputs[id][j])
+			}
+		}
+	}
+	return nil
+}
+
+func flatten(inputs [][]float64, isRoot bool) []float64 {
+	if !isRoot {
+		return nil
+	}
+	var out []float64
+	for _, in := range inputs {
+		out = append(out, in...)
+	}
+	return out
+}
+
+// cyclingFaults deterministically faults every n-th message per (src,
+// dst) pair, cycling corrupt → drop → delay. Per-pair counting keeps the
+// schedule identical whether the pairs live in one process or several;
+// corruption comes first so even light per-pair traffic exercises the
+// CRC reject path.
+type cyclingFaults struct {
+	mu  sync.Mutex
+	n   int
+	cnt map[[2]int]int
+}
+
+func (f *cyclingFaults) Message(src, dst, tag int, bytes int64, sendVT float64) comm.FaultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cnt == nil {
+		f.cnt = make(map[[2]int]int)
+	}
+	k := [2]int{src, dst}
+	c := f.cnt[k]
+	f.cnt[k] = c + 1
+	if c%f.n != f.n-1 {
+		return comm.FaultAction{}
+	}
+	switch (c / f.n) % 3 {
+	case 0:
+		if bytes > 0 {
+			return comm.FaultAction{Corrupt: true, FlipBit: c * 7}
+		}
+		return comm.FaultAction{Drop: true}
+	case 1:
+		return comm.FaultAction{Drop: true}
+	default:
+		return comm.FaultAction{DelayVT: 3e-6}
+	}
+}
+
+func (f *cyclingFaults) CRCDetected(src, dst, tag int) {}

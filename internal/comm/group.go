@@ -127,7 +127,7 @@ func (g *Group) Barrier() {
 	var bytes int64
 	for k := 1; k < p; k <<= 1 {
 		bytes += g.r.sendRaw(g.members[(id+k)%p], g.tag(0), nil, nil)
-		g.r.recvRaw(g.members[(id-k%p+p)%p], g.tag(0))
+		g.r.recvRawColl(g.members[(id-k%p+p)%p], g.tag(0), g.members)
 	}
 	coll.done(bytes)
 }
@@ -142,7 +142,7 @@ func (g *Group) Bcast(root int, data []float64) []float64 {
 	for mask < p {
 		if vr&mask != 0 {
 			parent := g.members[(id-mask+p)%p]
-			m := g.r.recvRaw(parent, g.tag(1))
+			m := g.r.recvRawColl(parent, g.tag(1), g.members)
 			data = m.data
 			break
 		}
@@ -171,19 +171,19 @@ func (g *Group) Allreduce(op ReduceOp, data []float64) []float64 {
 	rem := p - p2
 	if id >= p2 {
 		bytes += g.r.sendRaw(g.members[id-p2], tag, data, nil)
-		m := g.r.recvRaw(g.members[id-p2], tag)
+		m := g.r.recvRawColl(g.members[id-p2], tag, g.members)
 		copy(data, m.data)
 		coll.done(bytes)
 		return data
 	}
 	if id < rem {
-		m := g.r.recvRaw(g.members[id+p2], tag)
+		m := g.r.recvRawColl(g.members[id+p2], tag, g.members)
 		op.combine(data, m.data)
 	}
 	for mask := 1; mask < p2; mask <<= 1 {
 		partner := g.members[id^mask]
 		bytes += g.r.sendRaw(partner, tag, data, nil)
-		m := g.r.recvRaw(partner, tag)
+		m := g.r.recvRawColl(partner, tag, g.members)
 		op.combine(data, m.data)
 	}
 	if id < rem {
@@ -209,7 +209,7 @@ func (g *Group) Allgather(data []float64) []float64 {
 		chunk := make([]float64, n)
 		copy(chunk, out[cur*n:(cur+1)*n])
 		bytes += g.r.sendRaw(right, tag, chunk, nil)
-		m := g.r.recvRaw(left, tag)
+		m := g.r.recvRawColl(left, tag, g.members)
 		cur = (cur - 1 + p) % p
 		copy(out[cur*n:], m.data)
 	}

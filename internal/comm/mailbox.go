@@ -100,6 +100,34 @@ func (b *mailbox) takeDead(src, tag int, c *Comm) (*message, error) {
 	}
 }
 
+// takeCollective is takeDead for collective rounds, where blocking on a
+// live partner must still observe the death of any other participant:
+// a collective cannot complete once a member is gone, so a rank stuck
+// waiting for a contribution that will never be forwarded fails fast
+// with the dead member's error (ULFM MPI_ERR_PROC_FAILED semantics)
+// instead of hanging. members scopes the check to a subset of c's
+// member ids (a split Group); nil means every member. Matching queued
+// messages are always drained first, so a participant that completed
+// its part of the collective before dying never aborts it: eager sends
+// are enqueued before Kill marks the death, and the queue is checked
+// before the dead flags.
+func (b *mailbox) takeCollective(src, tag int, c *Comm, members []int) (*message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if m := b.removeLocked(src, tag); m != nil {
+			return m, nil
+		}
+		if b.closed {
+			panic(errAborted)
+		}
+		if d := c.firstDead(members); d >= 0 {
+			return nil, DeadRankError{Rank: d, World: c.worldIDOf(d)}
+		}
+		b.cond.Wait()
+	}
+}
+
 // tryTake is take without blocking; it returns nil when no message
 // matches.
 func (b *mailbox) tryTake(src, tag int) *message {

@@ -15,6 +15,13 @@ import (
 // a trivial serial reference. Payload values are small integers stored
 // in float64s, so sums and products are exact regardless of the
 // reduction's association order.
+//
+// These tests exercise the in-process backend only (they share slices
+// across ranks, which requires one address space). The same class of
+// seeded randomized-collective properties also runs against the TCP
+// backend — one OS process per rank, serial references re-derived
+// locally from the shared seed — as the "property-collectives" contract
+// in internal/comm/conformance.
 
 // randPayload fills integer-valued float64s in [-8, 8).
 func randPayload(rng *rand.Rand, n int) []float64 {
@@ -57,8 +64,8 @@ func TestPropertyAllreduce(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xA11))
 	ops := []ReduceOp{OpSum, OpProd, OpMin, OpMax}
 	for trial := 0; trial < 30; trial++ {
-		p := 1 + rng.Intn(9)       // 1..9, covers non-powers-of-2
-		n := 1 + rng.Intn(64)      // element count
+		p := 1 + rng.Intn(9)  // 1..9, covers non-powers-of-2
+		n := 1 + rng.Intn(64) // element count
 		op := ops[rng.Intn(len(ops))]
 		inputs := make([][]float64, p)
 		for i := range inputs {

@@ -38,8 +38,16 @@ func (r *Rank) Size() int { return r.comm.size }
 // DeadRankError (the blocking calls) once its pre-crash messages are
 // drained.
 func (r *Rank) Kill() {
+	w := r.WorldID()
 	r.comm.markDead(r.id)
-	panic(killPanic{world: r.WorldID()})
+	if root := r.comm.root; root != nil && root.transport != nil {
+		// Distributed run: mark the death in every locally registered
+		// communicator and announce it to the peer processes, ordered
+		// after everything this rank already sent.
+		root.reg.markWorld(w)
+		root.transport.NotifyDead(w)
+	}
+	panic(killPanic{world: w})
 }
 
 // Clock exposes the rank's virtual clock, so applications can account
@@ -80,6 +88,9 @@ func (r *Rank) checkPeer(peer int) {
 // message is the retransmission.
 func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 	c := r.comm
+	if !c.isLocalWorld(c.worldIDOf(dst)) {
+		return r.deliverRemote(dst, tag, data, ints)
+	}
 	if c.directEligible() {
 		// Fast path: without CRC framing or a fault plane nothing can
 		// reject or reorder the payload, so deliver straight to the
@@ -139,6 +150,72 @@ func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 	m.arrival = arrival
 	c.boxes[dst].put(m)
 	c.trace(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, hops, sendVT, arrival, r.prof.site)
+	return nbytes
+}
+
+// deliverRemote is deliver for a destination hosted in another process:
+// the same eager-send semantics, CRC framing and fault-plane interception
+// as the local staged path, but the message ships as a transport frame
+// carrying the modeled arrival time instead of landing in a local
+// mailbox. The fault plane still acts at the sender — a corrupted first
+// copy is shipped as its own frame before the clean retransmission, and
+// the transport's per-(src, dst) ordering plays the role of the mailbox's
+// non-overtaking queue. Transport.Send only borrows the payload slices,
+// so the caller's buffers stay reusable immediately, exactly like a
+// buffered local send.
+func (r *Rank) deliverRemote(dst, tag int, data []float64, ints []int64) int64 {
+	c := r.comm
+	t := c.root.transport
+	dstWorld := c.worldIDOf(dst)
+	nbytes := 8 * int64(len(data)+len(ints))
+	var crc uint32
+	framed := false
+	if c.crc {
+		crc = payloadCRC(data, ints)
+		framed = true
+	}
+	hops := c.hops(r.id, dst)
+	sendVT := r.clock.Now()
+	arrival := r.clock.SendStamp(int(nbytes), hops)
+	if c.faults != nil {
+		act := c.faults.Message(c.worldIDOf(r.id), dstWorld, tag, nbytes, sendVT)
+		if act != (FaultAction{}) {
+			arrival += act.DelayVT
+			rto := act.RetransmitVT
+			if rto <= 0 {
+				rto = DefaultRetransmitVT
+			}
+			switch {
+			case act.Drop:
+				// The first copy is lost on the wire; the receiver only
+				// ever sees the retransmission, one timeout later.
+				arrival += rto
+				c.retransmits.Add(1)
+			case act.Corrupt && nbytes > 0:
+				badData := append([]float64(nil), data...)
+				badInts := append([]int64(nil), ints...)
+				flipPayloadBit(badData, badInts, act.FlipBit)
+				_ = t.Send(dstWorld, &Frame{
+					Ctx: c.ctx, Src: r.id, Dst: dst, Tag: tag,
+					Data: badData, Ints: badInts,
+					SendVT: sendVT, Arrival: arrival,
+					CRC: crc, Framed: framed,
+				})
+				arrival += rto
+				c.retransmits.Add(1)
+			}
+		}
+	}
+	// A send error means the peer is gone; like an eager send into a dead
+	// rank's mailbox it is dropped silently — the death surfaces on the
+	// receive side as DeadRankError.
+	_ = t.Send(dstWorld, &Frame{
+		Ctx: c.ctx, Src: r.id, Dst: dst, Tag: tag,
+		Data: data, Ints: ints,
+		SendVT: sendVT, Arrival: arrival,
+		CRC: crc, Framed: framed,
+	})
+	c.trace(c.worldIDOf(r.id), dstWorld, tag, nbytes, hops, sendVT, arrival, r.prof.site)
 	return nbytes
 }
 

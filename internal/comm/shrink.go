@@ -55,6 +55,7 @@ func (r *Rank) Shrink(members []int) (*Rank, error) {
 			faults:   c.faults,
 			crc:      c.crc,
 			parent:   c,
+			root:     c.root,
 			parentOf: append([]int(nil), members...),
 			dead:     make([]atomic.Bool, len(members)),
 		}
@@ -70,6 +71,16 @@ func (r *Rank) Shrink(members []int) (*Rank, error) {
 			c.children = make(map[string]*Comm)
 		}
 		c.children[key] = sub
+		if c.root != nil && c.root.transport != nil {
+			// Distributed run: derive the deterministic routing id every
+			// process computes for this member list (Shrink is called with
+			// world-stable inputs on every survivor) and register it, which
+			// also flushes frames from peers that reached Shrink first.
+			sub.ctx = childCtx(c.ctx, sub.worldOf)
+			c.childMu.Unlock()
+			c.root.reg.register(sub.ctx, sub)
+			c.childMu.Lock()
+		}
 	}
 	c.childMu.Unlock()
 

@@ -1,0 +1,190 @@
+package tcptransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func frameEqual(a, b *comm.Frame) bool {
+	if a.Ctx != b.Ctx || a.Src != b.Src || a.Dst != b.Dst || a.Tag != b.Tag ||
+		a.CRC != b.CRC || a.Framed != b.Framed ||
+		math.Float64bits(a.SendVT) != math.Float64bits(b.SendVT) ||
+		math.Float64bits(a.Arrival) != math.Float64bits(b.Arrival) ||
+		len(a.Data) != len(b.Data) || len(a.Ints) != len(b.Ints) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	for i := range a.Ints {
+		if a.Ints[i] != b.Ints[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	frames := []*comm.Frame{
+		{},
+		{Ctx: 7, Src: 3, Dst: 1, Tag: 1 << 26, SendVT: 1.25e-6, Arrival: 2.5e-6},
+		{Src: -1, Tag: -1, Data: []float64{math.Inf(1), math.NaN(), -0.0}},
+		{Ctx: math.MaxUint64, Data: []float64{1, 2, 3}, Ints: []int64{-9, 0, 1 << 62},
+			CRC: 0xdeadbeef, Framed: true, SendVT: math.MaxFloat64},
+	}
+	for i, f := range frames {
+		wire := appendData(nil, f)
+		typ, body, err := readWire(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatalf("frame %d: readWire: %v", i, err)
+		}
+		if typ != typData {
+			t.Fatalf("frame %d: type %d", i, typ)
+		}
+		got, err := decodeData(body)
+		if err != nil {
+			t.Fatalf("frame %d: decodeData: %v", i, err)
+		}
+		if !frameEqual(f, got) {
+			t.Fatalf("frame %d: round trip mismatch:\n  sent %+v\n  got  %+v", i, f, got)
+		}
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	wire := appendDead(nil, 12)
+	typ, body, err := readWire(bytes.NewReader(wire))
+	if err != nil || typ != typDead {
+		t.Fatalf("dead: type %d err %v", typ, err)
+	}
+	if w, err := decodeDead(body); err != nil || w != 12 {
+		t.Fatalf("dead: got %d, %v", w, err)
+	}
+
+	wire = appendHello(nil, 3, "127.0.0.1:4242")
+	typ, body, err = readWire(bytes.NewReader(wire))
+	if err != nil || typ != typHello {
+		t.Fatalf("hello: type %d err %v", typ, err)
+	}
+	if rank, addr, err := decodeHello(body); err != nil || rank != 3 || addr != "127.0.0.1:4242" {
+		t.Fatalf("hello: got %d %q, %v", rank, addr, err)
+	}
+
+	addrs := []string{"a:1", "", "b:22", "c:333"}
+	wire = appendTable(nil, addrs)
+	typ, body, err = readWire(bytes.NewReader(wire))
+	if err != nil || typ != typTable {
+		t.Fatalf("table: type %d err %v", typ, err)
+	}
+	got, err := decodeTable(body)
+	if err != nil || len(got) != len(addrs) {
+		t.Fatalf("table: got %v, %v", got, err)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("table entry %d: %q != %q", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestReadWireRejects(t *testing.T) {
+	good := appendData(nil, &comm.Frame{Data: []float64{1, 2}})
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		wire []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"truncated header", good[:5], ErrTruncated},
+		{"truncated body", good[:len(good)-3], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) { b[0] ^= 0xff }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) { b[4] = 99 }), ErrBadVersion},
+		{"oversized length", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[6:], MaxBodyBytes+1)
+		}), ErrBadLength},
+		{"body bit flip", corrupt(func(b []byte) { b[headerLen+20] ^= 1 }), ErrBadCRC},
+	}
+	for _, tc := range cases {
+		if _, _, err := readWire(bytes.NewReader(tc.wire)); err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeDataRejectsCountMismatch(t *testing.T) {
+	// A body whose element counts disagree with its length must error
+	// before any payload allocation.
+	body := make([]byte, dataFixedLen)
+	binary.LittleEndian.PutUint32(body[45:], 1<<30) // nData claims 8 GiB
+	if _, err := decodeData(body); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	body = make([]byte, dataFixedLen+8)
+	binary.LittleEndian.PutUint32(body[45:], 2) // two floats, one present
+	if _, err := decodeData(body); err == nil {
+		t.Fatal("count/length mismatch accepted")
+	}
+}
+
+// FuzzReadFrame holds the codec to its contract under arbitrary input:
+// truncated, oversized, and corrupt frames must error — never panic and
+// never allocate beyond the declared caps. Wired into `make fuzz-smoke`.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(appendData(nil, &comm.Frame{Data: []float64{1, 2, 3}, Ints: []int64{4}, Framed: true, CRC: 9}))
+	f.Add(appendDead(nil, 3))
+	f.Add(appendHello(nil, 1, "127.0.0.1:9"))
+	f.Add(appendTable(nil, []string{"a:1", "b:2"}))
+	f.Add(appendWire(nil, typBye, nil))
+	f.Add([]byte{0x57, 0x54, 0x4d, 0x43}) // reversed magic
+	f.Add(make([]byte, headerLen))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		br := bytes.NewReader(raw)
+		for {
+			typ, body, err := readWire(br)
+			if err != nil {
+				return // every malformed input must land here, not panic
+			}
+			if len(body) > MaxBodyBytes {
+				t.Fatalf("readWire returned %d-byte body above cap", len(body))
+			}
+			switch typ {
+			case typData:
+				if fr, err := decodeData(body); err == nil {
+					// Decoded payload sizes are bounded by the body that
+					// carried them.
+					if 8*(len(fr.Data)+len(fr.Ints)) > len(body) {
+						t.Fatalf("decoded payload larger than body")
+					}
+					reenc := appendData(nil, fr)
+					typ2, body2, err2 := readWire(bytes.NewReader(reenc))
+					if err2 != nil || typ2 != typData {
+						t.Fatalf("re-encode failed: %v", err2)
+					}
+					fr2, err2 := decodeData(body2)
+					if err2 != nil || !frameEqual(fr, fr2) {
+						t.Fatalf("decode/encode/decode not stable")
+					}
+				}
+			case typDead:
+				decodeDead(body)
+			case typHello:
+				decodeHello(body)
+			case typTable:
+				decodeTable(body)
+			}
+		}
+	})
+}

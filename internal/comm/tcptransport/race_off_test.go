@@ -1,0 +1,6 @@
+//go:build !race
+
+package tcptransport
+
+// raceEnabled reports whether the race detector is active.
+const raceEnabled = false

@@ -1,0 +1,377 @@
+package tcptransport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Config describes one process of a TCP-backed run: which world rank it
+// hosts and how the full mesh is formed. Exactly one of the two bootstrap
+// modes is used:
+//
+//   - Explicit peers: Peers lists every rank's listen address (len ==
+//     Size); rank i listens on Peers[i] and rank i dials rank j for every
+//     j > i.
+//   - Rendezvous: every rank listens on an ephemeral port; rank 0
+//     publishes its address (RendezvousAddr, or atomically written to
+//     RendezvousFile for launchers that pick ports at runtime), the
+//     others dial it, identify themselves, and receive the full address
+//     table, then the pairs among ranks >= 1 dial lower-to-higher.
+type Config struct {
+	// Rank is the world rank this process hosts.
+	Rank int
+	// Size is the world communicator size (number of processes).
+	Size int
+	// Peers, when len == Size, selects explicit-peers bootstrap.
+	Peers []string
+	// RendezvousAddr is rank 0's listen address ("host:port"). On rank 0
+	// it is bound directly; on other ranks it is dialed. Empty means
+	// rank 0 binds 127.0.0.1:0 and RendezvousFile must carry the result.
+	RendezvousAddr string
+	// RendezvousFile, when set, is where rank 0 atomically publishes its
+	// actual listen address and where other ranks poll for it.
+	RendezvousFile string
+	// BootstrapTimeout bounds the whole mesh-formation step (dial
+	// retries, hellos, table). Zero means 30s.
+	BootstrapTimeout time.Duration
+	// CloseTimeout bounds the graceful-teardown linger waiting for every
+	// peer's goodbye. Zero means 30s.
+	CloseTimeout time.Duration
+}
+
+func (c *Config) bootstrapTimeout() time.Duration {
+	if c.BootstrapTimeout > 0 {
+		return c.BootstrapTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Config) closeTimeout() time.Duration {
+	if c.CloseTimeout > 0 {
+		return c.CloseTimeout
+	}
+	return 30 * time.Second
+}
+
+// sendq is a per-peer unbounded outbound queue drained by one writer
+// goroutine. Pushes never block, which is what keeps comm's eager-send
+// guarantee over a real socket: if the kernel buffer fills mid-pairwise
+// exchange, frames queue here instead of blocking the sending rank.
+type sendq struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	bufs    [][]byte
+	closed  bool // no further pushes; writer exits after draining
+	discard bool // writer hit a dead socket; drop instead of accumulate
+}
+
+func newSendq() *sendq {
+	q := &sendq{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *sendq) push(b []byte) {
+	q.mu.Lock()
+	if q.closed || q.discard {
+		q.mu.Unlock()
+		return
+	}
+	q.bufs = append(q.bufs, b)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close stops accepting pushes; the writer drains what is queued, then
+// exits. Safe to call more than once.
+func (q *sendq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// peer is one remote process of the mesh.
+type peer struct {
+	rank     int
+	conn     net.Conn
+	q        *sendq
+	byed     atomic.Bool // received their goodbye
+	readDone chan struct{}
+	wrDone   chan struct{}
+}
+
+// Transport is a comm.Transport over a TCP full mesh, one process per
+// world rank. Create it with New (which forms the mesh, so all processes
+// of a run must be started together), hand it to comm.RunDistributed.
+type Transport struct {
+	cfg     Config
+	ln      net.Listener
+	peers   []*peer // by world rank; nil at Config.Rank
+	rcv     comm.Receiver
+	started atomic.Bool
+	down    atomic.Bool // Close/Abort begun: reader errors are expected
+}
+
+var _ comm.Transport = (*Transport)(nil)
+
+// New forms the mesh: listen, bootstrap (rendezvous or explicit peers),
+// and connect to every peer. It blocks until all Size processes are
+// interconnected or the bootstrap timeout expires.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("tcptransport: size must be >= 1, got %d", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("tcptransport: rank %d outside [0,%d)", cfg.Rank, cfg.Size)
+	}
+	if cfg.Peers != nil && len(cfg.Peers) != cfg.Size {
+		return nil, fmt.Errorf("tcptransport: %d peer addresses for %d ranks", len(cfg.Peers), cfg.Size)
+	}
+	t := &Transport{cfg: cfg, peers: make([]*peer, cfg.Size)}
+	if err := t.bootstrap(); err != nil {
+		t.teardownConns()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Name implements comm.Transport.
+func (t *Transport) Name() string { return "tcp" }
+
+// Size implements comm.Transport.
+func (t *Transport) Size() int { return t.cfg.Size }
+
+// LocalRanks implements comm.Transport: one hosted rank per process.
+func (t *Transport) LocalRanks() []int { return []int{t.cfg.Rank} }
+
+// Start spawns the per-peer reader and writer goroutines and begins
+// delivering inbound frames into rcv.
+func (t *Transport) Start(rcv comm.Receiver) error {
+	if t.started.Swap(true) {
+		return fmt.Errorf("tcptransport: Start called twice")
+	}
+	t.rcv = rcv
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		go t.writeLoop(p)
+		go t.readLoop(p)
+	}
+	return nil
+}
+
+// Send implements comm.Transport: serialize now (the frame's payload
+// slices are only borrowed) and queue on the destination process's
+// writer. A departed peer swallows the frame, matching the semantics of
+// an eager send into a dead rank's mailbox.
+func (t *Transport) Send(dstWorld int, f *comm.Frame) error {
+	if dstWorld < 0 || dstWorld >= len(t.peers) || t.peers[dstWorld] == nil {
+		return fmt.Errorf("tcptransport: no peer hosts world rank %d", dstWorld)
+	}
+	t.peers[dstWorld].q.push(appendData(nil, f))
+	return nil
+}
+
+// NotifyDead implements comm.Transport: announce a hosted rank's death
+// to every peer, ordered after all frames already queued to each.
+func (t *Transport) NotifyDead(world int) {
+	for _, p := range t.peers {
+		if p != nil {
+			p.q.push(appendDead(nil, world))
+		}
+	}
+}
+
+// Close implements comm.Transport's graceful teardown: queue a goodbye
+// behind all outstanding frames, flush, half-close, then linger until
+// every peer's goodbye (or death notice) arrives so no departure is
+// mistaken for a crash — on either side.
+func (t *Transport) Close() error {
+	t.down.Store(true)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.q.push(appendWire(nil, typBye, nil))
+		p.q.close()
+	}
+	deadline := time.NewTimer(t.cfg.closeTimeout())
+	defer deadline.Stop()
+	var firstErr error
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.wrDone:
+		case <-deadline.C:
+			firstErr = fmt.Errorf("tcptransport: close timeout flushing to rank %d", p.rank)
+			t.teardownConns()
+			return firstErr
+		}
+	}
+	// Writers have flushed and half-closed; wait for each peer to finish
+	// talking (their bye, then EOF).
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.readDone:
+		case <-deadline.C:
+			firstErr = fmt.Errorf("tcptransport: close timeout waiting for goodbye from rank %d", p.rank)
+			t.teardownConns()
+			return firstErr
+		}
+	}
+	t.teardownConns()
+	return firstErr
+}
+
+// Abort implements comm.Transport: immediate teardown, no goodbye. Peers
+// observe the disconnect as the death of this process's rank.
+func (t *Transport) Abort() {
+	t.down.Store(true)
+	for _, p := range t.peers {
+		if p != nil {
+			p.q.close()
+		}
+	}
+	t.teardownConns()
+}
+
+func (t *Transport) teardownConns() {
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range t.peers {
+		if p != nil && p.conn != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+// writeLoop drains one peer's queue onto its socket. On exit (queue
+// closed and drained) it half-closes the connection so the peer's reader
+// sees a clean EOF after the goodbye.
+func (t *Transport) writeLoop(p *peer) {
+	defer close(p.wrDone)
+	for {
+		p.q.mu.Lock()
+		for len(p.q.bufs) == 0 && !p.q.closed {
+			p.q.cond.Wait()
+		}
+		batch := p.q.bufs
+		p.q.bufs = nil
+		closed := p.q.closed
+		p.q.mu.Unlock()
+		if len(batch) > 0 && !p.q.discard {
+			bufs := net.Buffers(batch)
+			if _, err := bufs.WriteTo(p.conn); err != nil {
+				// Peer is gone; stop accumulating and let receive-side
+				// dead-rank detection handle the rest.
+				p.q.mu.Lock()
+				p.q.discard = true
+				p.q.bufs = nil
+				p.q.mu.Unlock()
+			}
+		}
+		if closed {
+			break
+		}
+	}
+	if tc, ok := p.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+// readLoop decodes one peer's inbound stream and routes it: data frames
+// to the receiver, death notices to the fault plane, a goodbye marks the
+// departure graceful. A broken stream (EOF without goodbye, protocol
+// error) is a process failure: every rank it hosts is reported dead.
+func (t *Transport) readLoop(p *peer) {
+	defer close(p.readDone)
+	br := bufio.NewReaderSize(p.conn, 1<<16)
+	for {
+		typ, body, err := readWire(br)
+		if err != nil {
+			if !p.byed.Load() && !t.down.Load() {
+				t.rcv.PeerDead(p.rank)
+			}
+			return
+		}
+		switch typ {
+		case typData:
+			f, err := decodeData(body)
+			if err != nil {
+				if !t.down.Load() {
+					t.rcv.PeerDead(p.rank)
+				}
+				return
+			}
+			t.rcv.DeliverFrame(f)
+		case typDead:
+			w, err := decodeDead(body)
+			if err != nil {
+				if !t.down.Load() {
+					t.rcv.PeerDead(p.rank)
+				}
+				return
+			}
+			t.rcv.PeerDead(w)
+		case typBye:
+			p.byed.Store(true)
+			// Keep reading: the clean EOF follows the peer's half-close.
+		default:
+			// Unknown type from a same-version peer: protocol error.
+			if !t.down.Load() && !p.byed.Load() {
+				t.rcv.PeerDead(p.rank)
+			}
+			return
+		}
+	}
+}
+
+func (t *Transport) addPeer(rank int, conn net.Conn) error {
+	if rank < 0 || rank >= t.cfg.Size || rank == t.cfg.Rank {
+		return fmt.Errorf("tcptransport: bogus peer rank %d", rank)
+	}
+	if t.peers[rank] != nil {
+		return fmt.Errorf("tcptransport: duplicate connection for rank %d", rank)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	t.peers[rank] = &peer{
+		rank:     rank,
+		conn:     conn,
+		q:        newSendq(),
+		readDone: make(chan struct{}),
+		wrDone:   make(chan struct{}),
+	}
+	return nil
+}
+
+// readWireDeadline is readWire with a read deadline, for bootstrap
+// exchanges where a stalled peer must not hang the mesh forever.
+func readWireDeadline(conn net.Conn, d time.Time) (byte, []byte, error) {
+	conn.SetReadDeadline(d)
+	defer conn.SetReadDeadline(time.Time{})
+	return readWire(conn)
+}
+
+// writeWireDeadline writes one pre-encoded wire message under a deadline.
+func writeWireDeadline(conn net.Conn, buf []byte, d time.Time) error {
+	conn.SetWriteDeadline(d)
+	defer conn.SetWriteDeadline(time.Time{})
+	_, err := conn.Write(buf)
+	return err
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# mpirun_tcp.sh — launch an N-process TCP-transport run on one host.
+#
+#   scripts/mpirun_tcp.sh NP CMD [ARGS...]
+#
+# Forks NP copies of CMD, appending `-transport=tcp -rank=$i -rdv=$file`
+# to each, where $file is a fresh rendezvous file: rank 0 listens on an
+# ephemeral port and publishes its address there, the other ranks poll
+# the file and dial in (so no ports need reserving up front). Waits for
+# every process and exits nonzero if any rank failed.
+#
+#   scripts/mpirun_tcp.sh 4 ./bin/cmtbone -np 4 -steps 2
+#   scripts/mpirun_tcp.sh 4 ./bin/scalebench -smoke -smoke-json b.json
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 NP CMD [ARGS...]" >&2
+    exit 2
+fi
+np=$1
+shift
+case $np in
+    ''|*[!0-9]*) echo "$0: NP must be a positive integer, got '$np'" >&2; exit 2 ;;
+esac
+if [ "$np" -lt 1 ]; then
+    echo "$0: NP must be >= 1" >&2
+    exit 2
+fi
+
+rdv=$(mktemp -u "${TMPDIR:-/tmp}/mpirun_tcp.XXXXXX")
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -f "$rdv"
+}
+trap cleanup EXIT INT TERM
+
+for ((i = 0; i < np; i++)); do
+    "$@" -transport=tcp -rank="$i" -rdv="$rdv" &
+    pids+=($!)
+done
+
+status=0
+for ((i = 0; i < np; i++)); do
+    if ! wait "${pids[$i]}"; then
+        echo "$0: rank $i exited nonzero" >&2
+        status=1
+    fi
+done
+pids=()
+exit $status

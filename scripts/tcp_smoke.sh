@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# tcp_smoke.sh — end-to-end check that the TCP transport reproduces the
+# in-process backend exactly: run the canonical scalebench smoke scenario
+# once in a single process and once as 4 OS processes over localhost TCP,
+# then require the two diagnostics files (physics scalars, per-rank
+# virtual clocks, and the collectively-computed makespan) to be
+# byte-identical.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/tcp_smoke.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/scalebench" ./cmd/scalebench
+
+echo "== in-process run =="
+"$workdir/scalebench" -smoke -smoke-json "$workdir/inproc.json"
+
+echo "== 4-process TCP run =="
+scripts/mpirun_tcp.sh 4 "$workdir/scalebench" -smoke -smoke-json "$workdir/tcp.json"
+
+if ! cmp "$workdir/inproc.json" "$workdir/tcp.json"; then
+    echo "tcp_smoke: FAIL — diagnostics differ between transports:" >&2
+    diff "$workdir/inproc.json" "$workdir/tcp.json" >&2 || true
+    exit 1
+fi
+echo "tcp_smoke: OK — in-process and 4-process TCP diagnostics are byte-identical"
