@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-serve bench-all bench-diff generate generate-check test-noasm serve-smoke tcp-smoke
+.PHONY: all build vet test race check chaos fuzz-smoke bench bench-smoke bench-sweep bench-workers bench-loadbal bench-overlap bench-serve bench-hier bench-all bench-diff generate generate-check test-noasm serve-smoke tcp-smoke
 
 all: check
 
@@ -112,6 +112,13 @@ bench-overlap:
 bench-serve:
 	$(GO) run ./cmd/serveload -steps 30 -json BENCH_serve_baseline.json
 
+# Regenerate the hierarchical-collectives scaling baseline
+# (BENCH_hier_baseline.json): flat vs two-level collectives on modeled
+# fat-tree and dragonfly fabrics at 256..4096 ranks. Entirely modeled
+# (virtual clocks), so the file is bit-reproducible on any host.
+bench-hier:
+	$(GO) run ./cmd/scalebench -maxranks 1 -hier -hier-json BENCH_hier_baseline.json
+
 # Run every bench suite in-process (loadbal + overlap studies traced,
 # kernel worker sweep, allocation guard, job-server load generation)
 # and write the unified schema-versioned trajectory plus the
@@ -127,5 +134,5 @@ bench-all:
 # Exit 1 on regression, with critical-path blame lines naming the
 # responsible rank and phase.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold 0.02 BENCH_loadbal_baseline.json BENCH_overlap_baseline.json BENCH_workers_baseline.json BENCH_serve_baseline.json
+	$(GO) run ./cmd/benchdiff -threshold 0.02 BENCH_loadbal_baseline.json BENCH_overlap_baseline.json BENCH_workers_baseline.json BENCH_serve_baseline.json BENCH_hier_baseline.json
 	$(GO) run ./cmd/benchdiff -threshold 0.02 -critpath CRITPATH_REPORT.txt BENCH_trajectory.json

@@ -52,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *record != "" {
-		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, kernel: true, mxm: true, allocs: true, serveload: true},
+		traj, crit, err := freshRun(suiteSet{loadbal: true, overlap: true, hier: true, kernel: true, mxm: true, allocs: true, serveload: true},
 			nil, *reps, *hot)
 		if err != nil {
 			log.Fatal(err)
@@ -116,7 +116,7 @@ func main() {
 
 // suiteSet selects which measurement suites a fresh run performs.
 type suiteSet struct {
-	loadbal, overlap, kernel, mxm, allocs, serveload bool
+	loadbal, overlap, hier, kernel, mxm, allocs, serveload bool
 }
 
 func suitesOf(t *report.Trajectory) suiteSet {
@@ -127,6 +127,8 @@ func suitesOf(t *report.Trajectory) suiteSet {
 			s.loadbal = true
 		case "scalebench-overlap":
 			s.overlap = true
+		case "scalebench-hier":
+			s.hier = true
 		case "kernelbench":
 			s.kernel = true
 		case "kernelbench-mxm":
@@ -179,6 +181,21 @@ func freshRun(want suiteSet, base *report.Trajectory, reps int, hot float64) (*f
 		for _, s := range res.Scenarios {
 			if s.Critpath != nil {
 				crit = append(crit, fmt.Sprintf("== scalebench-overlap/%s ==\n%s",
+					s.Scenario, s.Critpath.Format(5)))
+			}
+		}
+	}
+	if want.hier {
+		opts := hierOptsFrom(base)
+		fmt.Printf("running hierarchical-collectives study (up to %d modeled ranks)...\n", opts.MaxRanks)
+		res, err := bench.RunHierStudy(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		traj.Results = append(traj.Results, res.Results()...)
+		for _, s := range res.Scenarios {
+			if s.Critpath != nil && len(s.Critpath.CongestedLinks) > 0 {
+				crit = append(crit, fmt.Sprintf("== scalebench-hier/%s ==\n%s",
 					s.Scenario, s.Critpath.Format(5)))
 			}
 		}
@@ -245,6 +262,47 @@ func serveOptsFrom(base *report.Trajectory) bench.ServeLoadOptions {
 		geti("n", &opts.N)
 		geti("steps", &opts.Steps)
 		break
+	}
+	return opts
+}
+
+// hierOptsFrom reconstructs the hierarchical-collectives study
+// configuration from the baseline's recorded parameters, so the fresh
+// run sweeps exactly the committed (topology, rank count) grid. A nil
+// baseline (record mode) uses the committed-baseline defaults.
+func hierOptsFrom(base *report.Trajectory) bench.HierOptions {
+	var opts bench.HierOptions
+	if base == nil {
+		return opts
+	}
+	seenTopo := map[string]bool{}
+	for i := range base.Results {
+		r := &base.Results[i]
+		if r.Suite != "scalebench-hier" {
+			continue
+		}
+		if v, err := strconv.Atoi(r.Params["ranks"]); err == nil && v > opts.MaxRanks {
+			opts.MaxRanks = v
+		}
+		if topo := r.Params["topo"]; topo != "" && !seenTopo[topo] {
+			seenTopo[topo] = true
+			opts.Topos = append(opts.Topos, topo)
+		}
+		if v, err := strconv.Atoi(r.Params["iters"]); err == nil {
+			opts.Iters = v
+		}
+		if v, err := strconv.Atoi(r.Params["diag_len"]); err == nil {
+			opts.DiagLen = v
+		}
+		if v, err := strconv.Atoi(r.Params["resid_len"]); err == nil {
+			opts.ResidLen = v
+		}
+		if v, err := strconv.ParseFloat(r.Params["load"], 64); err == nil {
+			opts.Load = v
+			if v == 0 {
+				opts.Load = -1 // preserve an explicitly idle-fabric baseline
+			}
+		}
 	}
 	return opts
 }

@@ -72,7 +72,7 @@ func main() {
 	transportName := flag.String("transport", "inproc", "communicator backend: inproc (all ranks in this process) or tcp (this process hosts one rank of a multi-process run; see scripts/mpirun_tcp.sh)")
 	tcpRank := flag.Int("rank", -1, "world rank of this process (tcp transport)")
 	tcpPeers := flag.String("peers", "", "comma-separated listen addresses, one per rank, identical across all processes (tcp transport)")
-	tcpRdv := flag.String("rdv", "", "rendezvous file: rank 0 publishes its ephemeral address here, other ranks poll it (tcp transport; alternative to -peers)")
+	tcpRdv := flag.String("rdv", "", "rendezvous: a file path (rank 0 publishes its ephemeral address there, other ranks poll it) or tcp://host:port/job for a cmtbroker (tcp transport; alternative to -peers)")
 	cli.Parse()
 
 	useTCP := *transportName == "tcp"
@@ -281,7 +281,12 @@ func main() {
 		if !useTCP {
 			return comm.Run(*np, opts, fn)
 		}
-		tcfg := tcptransport.Config{Rank: *tcpRank, Size: *np, RendezvousFile: *tcpRdv}
+		tcfg := tcptransport.Config{Rank: *tcpRank, Size: *np}
+		if *tcpRdv != "" {
+			if err := tcptransport.ParseRendezvous(*tcpRdv, &tcfg); err != nil {
+				return nil, fmt.Errorf("-rdv: %w", err)
+			}
+		}
 		if *tcpPeers != "" {
 			tcfg.Peers = strings.Split(*tcpPeers, ",")
 		}

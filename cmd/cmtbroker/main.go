@@ -1,0 +1,41 @@
+// Command cmtbroker is the TCP rendezvous broker for multi-process runs:
+// it lets the ranks of a distributed cmtbone job discover each other's
+// mesh addresses over the network instead of through a shared rendezvous
+// file. Start it once:
+//
+//	cmtbroker -listen 0.0.0.0:9333
+//
+// then point every rank of every job at it:
+//
+//	cmtbone -transport=tcp -np 4 -rank $i -rdv tcp://broker-host:9333/myjob
+//
+// One broker serves any number of concurrent jobs, keyed by the job name
+// in the rendezvous URL. The broker only brokers bootstrap — application
+// traffic flows directly between the ranks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/comm/tcptransport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9333", "address to listen on (host:port; port 0 picks one)")
+	cli.Parse()
+
+	b, err := tcptransport.NewBroker(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cmtbroker listening on %s\n", b.Addr())
+	fmt.Printf("point ranks at: -rdv tcp://%s/<job>\n", b.Addr())
+	if err := b.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -55,12 +55,15 @@ func main() {
 	lbJSON := flag.String("loadbal-json", "", "write the loadbal scenario results as JSON to this file")
 	useOverlap := flag.Bool("overlap", false, "append the compute/communication overlap study (blocking vs split-phase exchange)")
 	overlapJSON := flag.String("overlap-json", "", "write the overlap study results as JSON to this file")
+	useHier := flag.Bool("hier", false, "append the hierarchical-collectives scaling study (flat vs two-level collectives on modeled fat-tree and dragonfly fabrics)")
+	hierMaxRanks := flag.Int("hier-maxranks", 4096, "largest modeled rank count of the -hier study (sweeps 256, 1024, ... up to this)")
+	hierJSON := flag.String("hier-json", "", "write the -hier study results as JSON to this file")
 	smoke := flag.Bool("smoke", false, "run the canonical 4-rank smoke scenario and write its diagnostics JSON (see -smoke-json); with -transport=tcp this process hosts one rank")
 	smokeJSON := flag.String("smoke-json", "smoke.json", "diagnostics output path for -smoke (written by rank 0's process)")
 	transportName := flag.String("transport", "inproc", "smoke communicator backend: inproc or tcp")
 	tcpRank := flag.Int("rank", -1, "world rank of this process (-smoke -transport=tcp)")
 	tcpPeers := flag.String("peers", "", "comma-separated listen addresses, one per rank (-smoke -transport=tcp)")
-	tcpRdv := flag.String("rdv", "", "rendezvous file path (-smoke -transport=tcp; alternative to -peers)")
+	tcpRdv := flag.String("rdv", "", "rendezvous file path or tcp://host:port/job for a cmtbroker (-smoke -transport=tcp; alternative to -peers)")
 	cli.Parse()
 	workers = *workersFlag
 
@@ -151,6 +154,41 @@ func main() {
 	}
 	if *useOverlap {
 		overlapStudy(*n, model, *overlapJSON)
+	}
+	if *useHier {
+		hierStudy(*hierMaxRanks, *hierJSON)
+	}
+}
+
+// hierStudy runs the flat-vs-hierarchical collectives sweep (measurement
+// core in internal/bench, shared with benchdiff) and prints its table.
+// All quantities are modeled, so the JSON artifact is a valid benchdiff
+// baseline on any host.
+func hierStudy(maxRanks int, jsonPath string) {
+	res, err := bench.RunHierStudy(bench.HierOptions{MaxRanks: maxRanks})
+	if err != nil {
+		log.Fatalf("hier study: %v", err)
+	}
+
+	fmt.Printf("\nhierarchical collectives (diag allreduce %d floats, resid %d, %d iters, background load %.2f):\n\n",
+		res.DiagLen, res.ResidLen, res.Iters, res.Load)
+	fmt.Printf("%-10s %7s %7s %14s %14s %12s %12s %11s\n",
+		"topology", "ranks", "method", "diag (us)", "resid (us)", "bcast (us)", "barrier (us)", "vs flat")
+	for _, s := range res.Scenarios {
+		vsFlat := ""
+		if s.Method == "hier" {
+			vsFlat = fmt.Sprintf("%10.1f%%", 100*s.DiagReduction)
+		}
+		fmt.Printf("%-10s %7d %7s %14.2f %14.2f %12.2f %12.2f %11s\n",
+			s.Topo, s.Ranks, s.Method, 1e6*s.DiagTime, 1e6*s.ResidTime,
+			1e6*s.BcastTime, 1e6*s.BarrierTime, vsFlat)
+	}
+
+	if jsonPath != "" {
+		if err := report.New(res.Results()).WriteFile(jsonPath); err != nil {
+			log.Fatalf("-hier-json: %v", err)
+		}
+		fmt.Printf("\nwrote %s (schema v%d)\n", jsonPath, report.SchemaVersion)
 	}
 }
 
@@ -283,7 +321,12 @@ func runSmoke(transport string, rank int, peersCSV, rdv, jsonPath string, model 
 		if rank < 0 || rank >= smokeRanks {
 			log.Fatalf("-transport=tcp needs -rank in [0,%d)", smokeRanks)
 		}
-		tcfg := tcptransport.Config{Rank: rank, Size: smokeRanks, RendezvousFile: rdv}
+		tcfg := tcptransport.Config{Rank: rank, Size: smokeRanks}
+		if rdv != "" {
+			if err := tcptransport.ParseRendezvous(rdv, &tcfg); err != nil {
+				log.Fatalf("-rdv: %v", err)
+			}
+		}
 		if peersCSV != "" {
 			tcfg.Peers = strings.Split(peersCSV, ",")
 		}

@@ -1,0 +1,69 @@
+package bench
+
+import "testing"
+
+// The small-scale study must show a hierarchical win on the congested
+// diagnostics allreduce, produce bit-identical physics across methods
+// (RunHierStudy errors out internally if not), and be deterministic.
+func TestHierStudySmall(t *testing.T) {
+	opts := HierOptions{MaxRanks: 256, Topos: []string{"fat-tree"}, Iters: 2}
+	res, err := RunHierStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(res.Scenarios))
+	}
+	flat, hier := res.Scenarios[0], res.Scenarios[1]
+	if flat.Method != "flat" || hier.Method != "hier" {
+		t.Fatalf("scenario order: %s, %s", flat.Scenario, hier.Scenario)
+	}
+	if flat.DiagCRC != hier.DiagCRC {
+		t.Fatalf("crc mismatch survived the study: %#x vs %#x", flat.DiagCRC, hier.DiagCRC)
+	}
+	if hier.DiagReduction <= 0 {
+		t.Errorf("hier diag allreduce not faster: reduction %.3f (flat %.3g s, hier %.3g s)",
+			hier.DiagReduction, flat.DiagTime, hier.DiagTime)
+	}
+	if hier.Critpath == nil || len(hier.Critpath.CongestedLinks) == 0 {
+		t.Error("256-rank scenario should carry a congestion replay")
+	}
+
+	again, err := RunHierStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Scenarios {
+		a, b := res.Scenarios[i], again.Scenarios[i]
+		if a.CollTime != b.CollTime || a.DiagTime != b.DiagTime || a.DiagCRC != b.DiagCRC {
+			t.Errorf("%s not deterministic: coll %v vs %v, diag %v vs %v, crc %#x vs %#x",
+				a.Scenario, a.CollTime, b.CollTime, a.DiagTime, b.DiagTime, a.DiagCRC, b.DiagCRC)
+		}
+	}
+
+	results := res.Results()
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if _, ok := results[0].Metric("allreduce_diag_reduction"); ok {
+		t.Error("flat scenario must not carry a reduction metric")
+	}
+	if m, ok := results[1].Metric("allreduce_diag_reduction"); !ok || m.Value != hier.DiagReduction {
+		t.Errorf("hier reduction metric: %+v, want %v", m, hier.DiagReduction)
+	}
+}
+
+// The dragonfly fabric must support the study shapes too.
+func TestHierStudyDragonflySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 512 rank goroutines")
+	}
+	res, err := RunHierStudy(HierOptions{MaxRanks: 256, Topos: []string{"dragonfly"}, Iters: 1, ReplayMax: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := res.Scenarios[1]
+	if hier.DiagReduction <= 0 {
+		t.Errorf("hier diag allreduce not faster on dragonfly: reduction %.3f", hier.DiagReduction)
+	}
+}

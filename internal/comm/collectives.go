@@ -2,6 +2,8 @@ package comm
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"time"
 )
 
@@ -148,19 +150,40 @@ type collRegion struct {
 }
 
 // collStart opens a profiled collective region; call done with the
-// bytes sent to record (wall, modeled, bytes).
+// bytes sent to record (wall, modeled, bytes). It also declares the
+// rank's sender concurrency to topology congestion pricing: inside a
+// flat collective every rank of a node injects into the fabric at once
+// (flatFlows); hierarchical algorithms overwrite this with 1 on entry
+// (only the leader injects per inter-node round). done resets the
+// declaration, so point-to-point traffic outside collectives is priced
+// as a lone flow.
 func (r *Rank) collStart(op string) collRegion {
+	r.flows = r.comm.flatFlows
 	return collRegion{r: r, op: op, start: time.Now(), v0: r.clock.Now()}
 }
 
 func (c collRegion) done(bytes int64) {
+	c.r.flows = 0
 	c.r.prof.record(c.op, time.Since(c.start).Seconds(), c.r.clock.Now()-c.v0, bytes)
 }
 
-// Barrier blocks until every rank has entered it (dissemination
-// algorithm, ceil(log2 P) rounds).
+// Barrier blocks until every rank has entered it. The flat path is a
+// dissemination barrier (ceil(log2 P) rounds); with hierarchical
+// collectives selected, ranks gather on their node leader, the leaders
+// disseminate, and the release fans back out within each node.
 func (r *Rank) Barrier() {
 	coll := r.collStart("MPI_Barrier")
+	var bytes int64
+	if r.hierOn() {
+		bytes = r.barrierHier()
+	} else {
+		bytes = r.barrierRaw()
+	}
+	coll.done(bytes)
+}
+
+// barrierRaw is the flat dissemination barrier.
+func (r *Rank) barrierRaw() int64 {
 	p, id := r.comm.size, r.id
 	tag := collTagBase + 0
 	var bytes int64
@@ -168,7 +191,7 @@ func (r *Rank) Barrier() {
 		bytes += r.sendRaw((id+k)%p, tag, nil, nil)
 		r.freeRaw(r.recvRaw((id-k%p+p)%p, tag))
 	}
-	coll.done(bytes)
+	return bytes
 }
 
 // catchDead converts a panicked DeadRankError into a returned error;
@@ -200,11 +223,22 @@ func (r *Rank) AllreduceErr(op ReduceOp, data []float64) (out []float64, err err
 	return r.Allreduce(op, data), nil
 }
 
-// Bcast broadcasts data from root using a binomial tree. Non-root ranks
-// pass nil and receive the broadcast value; root gets its own slice back.
+// Bcast broadcasts data from root using a binomial tree (two-level
+// node-leader trees with hierarchical collectives selected; broadcast
+// moves bytes without combining, so either path yields identical
+// results). Non-root ranks pass nil and receive the broadcast value;
+// root gets its own slice back.
 func (r *Rank) Bcast(root int, data []float64) []float64 {
 	coll := r.collStart("MPI_Bcast")
-	d, _, bytes := r.bcastRaw(root, data, nil)
+	var (
+		d     []float64
+		bytes int64
+	)
+	if r.hierOn() {
+		d, _, bytes = r.bcastHier(root, data, nil)
+	} else {
+		d, _, bytes = r.bcastRaw(root, data, nil)
+	}
 	coll.done(bytes)
 	return d
 }
@@ -212,7 +246,15 @@ func (r *Rank) Bcast(root int, data []float64) []float64 {
 // BcastInts is Bcast for int64 payloads.
 func (r *Rank) BcastInts(root int, ints []int64) []int64 {
 	coll := r.collStart("MPI_Bcast")
-	_, is, bytes := r.bcastRaw(root, nil, ints)
+	var (
+		is    []int64
+		bytes int64
+	)
+	if r.hierOn() {
+		_, is, bytes = r.bcastHier(root, nil, ints)
+	} else {
+		_, is, bytes = r.bcastRaw(root, nil, ints)
+	}
 	coll.done(bytes)
 	return is
 }
@@ -249,6 +291,13 @@ func (r *Rank) bcastRaw(root int, data []float64, ints []int64) ([]float64, []in
 // scratch) and the return value is nil.
 func (r *Rank) Reduce(op ReduceOp, root int, data []float64) []float64 {
 	coll := r.collStart("MPI_Reduce")
+	// The hierarchical path requires a node-leader root; rank 0 (the only
+	// root the mini-app reduces onto) is always the leader of its node.
+	if r.hierOn() && root == 0 {
+		out, bytes := r.reduceHier(op, root, data)
+		coll.done(bytes)
+		return out
+	}
 	p, id := r.comm.size, r.id
 	vr := (id - root + p) % p
 	tag := collTagBase + 2
@@ -269,23 +318,47 @@ func (r *Rank) Reduce(op ReduceOp, root int, data []float64) []float64 {
 	return data
 }
 
-// rabenseifnerMinLen is the vector length above which Allreduce switches
-// from recursive doubling (latency-optimal, log2 P messages of the full
-// vector) to the Rabenseifner algorithm (bandwidth-optimal:
-// reduce-scatter then allgather, moving ~2x the vector total instead of
-// log2(P)x) — the size-based algorithm switch real MPI libraries make.
-const rabenseifnerMinLen = 4096
+// rabenseifnerMinLenDefault is the default vector length above which
+// Allreduce switches from recursive doubling (latency-optimal, log2 P
+// messages of the full vector) to the Rabenseifner algorithm
+// (bandwidth-optimal: reduce-scatter then allgather, moving ~2x the
+// vector total instead of log2(P)x) — the size-based algorithm switch
+// real MPI libraries make. Tune per machine with
+// Options.RabenseifnerMinLen or the CMT_RABENSEIFNER_MINLEN environment
+// variable.
+const rabenseifnerMinLenDefault = 4096
+
+// resolveRabMinLen applies the Options > environment > default
+// precedence for the algorithm-switch length.
+func resolveRabMinLen(opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	if s := os.Getenv("CMT_RABENSEIFNER_MINLEN"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return rabenseifnerMinLenDefault
+}
 
 // Allreduce combines data across all ranks and leaves the result on every
 // rank, updating data in place and returning it. Small vectors use
-// recursive doubling; large vectors use the Rabenseifner
-// reduce-scatter/allgather algorithm.
+// recursive doubling — two-level node-leader recursive doubling when the
+// hierarchical method is selected, which cuts the per-node fabric
+// injection from one flow per rank to one per node. Large vectors use the
+// flat Rabenseifner reduce-scatter/allgather algorithm regardless: it is
+// bandwidth-optimal, and the hierarchical small-vector path would move
+// the full vector log2(nodes) times.
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	coll := r.collStart("MPI_Allreduce")
 	var bytes int64
-	if len(data) >= rabenseifnerMinLen && r.comm.size > 2 {
+	switch {
+	case len(data) >= r.comm.rabMinLen && r.comm.size > 2:
 		bytes = r.allreduceRabenseifner(op, data)
-	} else {
+	case r.hierOn():
+		bytes = r.allreduceHier(op, data, nil)
+	default:
 		bytes = r.allreduceRaw(op, data, nil)
 	}
 	coll.done(bytes)
@@ -369,10 +442,17 @@ func (r *Rank) allreduceRabenseifner(op ReduceOp, data []float64) int64 {
 	return bytes
 }
 
-// AllreduceInts is Allreduce for int64 payloads.
+// AllreduceInts is Allreduce for int64 payloads. Integer reductions are
+// exact under any combine order, so the hierarchical path applies
+// whenever selected, regardless of layout.
 func (r *Rank) AllreduceInts(op ReduceOp, ints []int64) []int64 {
 	coll := r.collStart("MPI_Allreduce")
-	bytes := r.allreduceRaw(op, nil, ints)
+	var bytes int64
+	if r.hierOn() {
+		bytes = r.allreduceHier(op, nil, ints)
+	} else {
+		bytes = r.allreduceRaw(op, nil, ints)
+	}
 	coll.done(bytes)
 	return ints
 }

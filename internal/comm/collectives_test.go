@@ -366,7 +366,7 @@ func TestAllreduceRabenseifnerLargeVectors(t *testing.T) {
 	// path; results must match the serial sum exactly, including odd
 	// lengths and non-power-of-two rank counts.
 	for _, p := range []int{3, 4, 5, 7, 8} {
-		for _, n := range []int{rabenseifnerMinLen, rabenseifnerMinLen + 1, rabenseifnerMinLen + 1023} {
+		for _, n := range []int{rabenseifnerMinLenDefault, rabenseifnerMinLenDefault + 1, rabenseifnerMinLenDefault + 1023} {
 			inputs := make([][]float64, p)
 			want := make([]float64, n)
 			rng := rand.New(rand.NewSource(int64(p*100000 + n)))
@@ -397,7 +397,7 @@ func TestAllreduceRabenseifnerLargeVectors(t *testing.T) {
 }
 
 func TestAllreduceLargeMinMax(t *testing.T) {
-	const p, n = 6, rabenseifnerMinLen + 7
+	const p, n = 6, rabenseifnerMinLenDefault + 7
 	_, err := RunSimple(p, func(r *Rank) error {
 		buf := make([]float64, n)
 		for i := range buf {

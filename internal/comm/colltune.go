@@ -1,0 +1,291 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CollMethod selects the collective algorithm family a communicator
+// dispatches to, the way gs.Method selects an exchange method.
+type CollMethod int32
+
+const (
+	// CollFlat runs the classic single-level algorithms (dissemination
+	// barrier, binomial bcast/reduce, recursive-doubling/Rabenseifner
+	// allreduce).
+	CollFlat CollMethod = iota
+	// CollHier runs the two-level node-leader algorithms over the
+	// communicator's Hierarchy.
+	CollHier
+)
+
+// String implements fmt.Stringer.
+func (m CollMethod) String() string {
+	switch m {
+	case CollFlat:
+		return "flat"
+	case CollHier:
+		return "hierarchical"
+	}
+	return fmt.Sprintf("CollMethod(%d)", int32(m))
+}
+
+// CollTiming summarizes one collective method's measured cost across all
+// ranks, mirroring gs.Timing.
+type CollTiming struct {
+	Method CollMethod
+	// Host wall seconds per probe iteration: mean/min/max of the
+	// per-rank averages over the tuning trials.
+	WallAvg, WallMin, WallMax float64
+	// Modeled network seconds per probe iteration, same statistics.
+	ModelAvg, ModelMin, ModelMax float64
+}
+
+// selectCollMethod picks the method whose worst-rank time is smallest;
+// ties keep the earlier (flat) entry, so a deterministic timing list
+// yields a deterministic choice on every rank.
+func selectCollMethod(timings []CollTiming, byModel bool) CollMethod {
+	cost := func(t CollTiming) float64 {
+		if byModel {
+			return t.ModelMax
+		}
+		return t.WallMax
+	}
+	best := timings[0]
+	for _, t := range timings[1:] {
+		if cost(t) < cost(best) {
+			best = t
+		}
+	}
+	return best.Method
+}
+
+// TuneCollectives verifies and times the collective algorithm families
+// and commits the winner as the communicator's dispatch method, the way
+// gs.TuneBy picks an exchange method. It is collective: every rank must
+// call it with identical arguments, and every rank computes the same
+// winner from allreduced statistics. The method is written exactly once,
+// after all measurement.
+//
+// Verification comes first, and only bit-exact-verified candidates are
+// eligible for timing:
+//
+//   - Flat vs hierarchical allreduce on pseudo-random float probes
+//     across ops and vector lengths: the hierarchical method is eligible
+//     only if every result is bit-identical to the flat path (true for
+//     power-of-two block layouts; irregular layouts fail here and keep
+//     the communicator on the flat path, preserving the repo's
+//     bit-reproducibility invariant).
+//   - Recursive doubling vs Rabenseifner at the algorithm-switch length:
+//     exact-arithmetic probes (integer-valued sums, min/max on floats)
+//     must agree bitwise, catching implementation drift between the two
+//     flat algorithms before the size-based switch is trusted.
+//
+// byModel selects the modeled-time criterion (the right one when
+// simulating a cluster from a laptop); false selects host wall time.
+// The returned bool reports whether the hierarchical method passed
+// verification. With no Hierarchy configured only the flat path is
+// verified and timed.
+func TuneCollectives(r *Rank, trials int, byModel bool) (CollMethod, []CollTiming, bool) {
+	if trials < 1 {
+		trials = 1
+	}
+	c := r.comm
+	hierOK := r.verifyCollectives()
+	methods := []CollMethod{CollFlat}
+	if hierOK && c.hier != nil {
+		methods = append(methods, CollHier)
+	}
+
+	probe64 := collProbe(r.id, 64, 0x5bd1)
+	probe8 := collProbe(r.id, 8, 0x9e37)
+	scratch := make([]float64, 64)
+	timings := make([]CollTiming, 0, len(methods))
+	for _, m := range methods {
+		// Warm once (first-use allocations), then time.
+		r.collProbeIter(m, probe64, probe8, scratch)
+		r.Barrier()
+		v0 := r.clock.Now()
+		start := time.Now()
+		for t := 0; t < trials; t++ {
+			r.collProbeIter(m, probe64, probe8, scratch)
+		}
+		wall := time.Since(start).Seconds() / float64(trials)
+		model := (r.clock.Now() - v0) / float64(trials)
+
+		// Cross-rank statistics, the gs.timeMethods reduction.
+		stats := []float64{wall, -wall, wall, model, -model, model}
+		r.Allreduce(OpMax, stats[:2])
+		r.Allreduce(OpSum, stats[2:3])
+		r.Allreduce(OpMax, stats[3:5])
+		r.Allreduce(OpSum, stats[5:6])
+		p := float64(c.size)
+		timings = append(timings, CollTiming{
+			Method:   m,
+			WallMax:  stats[0],
+			WallMin:  -stats[1],
+			WallAvg:  stats[2] / p,
+			ModelMax: stats[3],
+			ModelMin: -stats[4],
+			ModelAvg: stats[5] / p,
+		})
+	}
+	best := selectCollMethod(timings, byModel)
+	c.collMethod.Store(int32(best))
+	return best, timings, hierOK
+}
+
+// collProbeIter runs one tuning iteration of method m: a diagnostics-
+// sized and a residual-sized allreduce plus a barrier, the global
+// operations that dominate CMT-bone's scaling.
+func (r *Rank) collProbeIter(m CollMethod, probe64, probe8, scratch []float64) {
+	copy(scratch[:64], probe64)
+	r.allreduceForce(m, OpSum, scratch[:64])
+	copy(scratch[:8], probe8)
+	r.allreduceForce(m, OpMax, scratch[:8])
+	r.barrierForce(m)
+}
+
+// allreduceForce runs a small-vector allreduce with an explicit method,
+// bypassing the committed dispatch (tuning only).
+func (r *Rank) allreduceForce(m CollMethod, op ReduceOp, data []float64) {
+	coll := r.collStart("MPI_Allreduce")
+	var bytes int64
+	if m == CollHier {
+		bytes = r.allreduceHier(op, data, nil)
+	} else {
+		bytes = r.allreduceRaw(op, data, nil)
+	}
+	coll.done(bytes)
+}
+
+// barrierForce runs a barrier with an explicit method (tuning only).
+func (r *Rank) barrierForce(m CollMethod) {
+	coll := r.collStart("MPI_Barrier")
+	var bytes int64
+	if m == CollHier {
+		bytes = r.barrierHier()
+	} else {
+		bytes = r.barrierRaw()
+	}
+	coll.done(bytes)
+}
+
+// collProbe fills a deterministic pseudo-random probe vector: full
+// mantissas so any change in floating-point association shows up
+// bitwise.
+func collProbe(rank, n int, salt uint64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		h := uint64(rank+1)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + salt
+		h ^= h >> 31
+		h *= 0x94d049bb133111eb
+		h ^= h >> 29
+		// Uniform in [1, 2) with full mantissa entropy, sign-flipped on
+		// odd hashes: sums are well-conditioned but association-
+		// sensitive in the low bits.
+		v := 1 + float64(h>>12)/(1<<52)
+		if h&1 != 0 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// collProbeInts fills an integer-valued float probe in [-8, 8): sums of
+// up to ~2^49 such values are exact, so any two associations agree
+// bitwise — the payload used to cross-check algorithms whose combine
+// trees legitimately differ.
+func collProbeInts(rank, n int, salt uint64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		h := uint64(rank+1)*0xd1342543de82ef95 + uint64(i)*0xaf251af3b0f025b5 + salt
+		h ^= h >> 33
+		out[i] = float64(int64(h%16) - 8)
+	}
+	return out
+}
+
+// verifyCollectives is the bit-exactness gate: it returns whether the
+// hierarchical allreduce reproduced the flat path bitwise on every rank
+// (vacuously true checks still run the flat-vs-flat Rabenseifner probes,
+// whose failure also reports false). Collective.
+func (r *Rank) verifyCollectives() bool {
+	c := r.comm
+	ok := true
+	bitsEqual := func(a, b []float64) bool {
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if c.hier != nil {
+		for _, op := range []ReduceOp{OpSum, OpProd, OpMin, OpMax} {
+			for _, n := range []int{1, 3, 64} {
+				probe := collProbe(r.id, n, uint64(op)<<8+uint64(n))
+				flat := append([]float64(nil), probe...)
+				hier := append([]float64(nil), probe...)
+				r.allreduceRaw(op, flat, nil)
+				r.allreduceHier(op, hier, nil)
+				if !bitsEqual(flat, hier) {
+					ok = false
+				}
+			}
+		}
+		// Integer payloads through the int path: exact under any
+		// association, so this checks protocol correctness, not layout.
+		intsFlat := []int64{int64(r.id) + 1, -3, int64(r.id * r.id)}
+		intsHier := append([]int64(nil), intsFlat...)
+		r.allreduceRaw(OpSum, nil, intsFlat)
+		r.allreduceHier(OpSum, nil, intsHier)
+		for i := range intsFlat {
+			if intsFlat[i] != intsHier[i] {
+				ok = false
+			}
+		}
+	}
+
+	// Recursive doubling vs Rabenseifner at the switch length, on
+	// payloads where both associations are exact.
+	if c.size > 2 {
+		n := c.rabMinLen
+		if n < 4 {
+			n = 4
+		}
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		sum := collProbeInts(r.id, n, 0x51ab)
+		rd := append([]float64(nil), sum...)
+		rab := append([]float64(nil), sum...)
+		r.allreduceRaw(OpSum, rd, nil)
+		r.allreduceRabenseifner(OpSum, rab)
+		if !bitsEqual(rd, rab) {
+			ok = false
+		}
+		ext := collProbe(r.id, n, 0x7a11)
+		for _, op := range []ReduceOp{OpMin, OpMax} {
+			rd := append([]float64(nil), ext...)
+			rab := append([]float64(nil), ext...)
+			r.allreduceRaw(op, rd, nil)
+			r.allreduceRabenseifner(op, rab)
+			if !bitsEqual(rd, rab) {
+				ok = false
+			}
+		}
+	}
+
+	// Agree on the verdict across ranks (flat path: the method under
+	// test must not carry its own verification verdict).
+	flag := []int64{1}
+	if !ok {
+		flag[0] = 0
+	}
+	r.allreduceRaw(OpMin, nil, flag)
+	return flag[0] == 1
+}

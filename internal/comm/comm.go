@@ -63,6 +63,24 @@ type Options struct {
 	// CRC enables per-message CRC framing even without a fault plane:
 	// every payload is checksummed at send and verified at receive.
 	CRC bool
+	// Hierarchy, when non-nil, declares the node grouping of the ranks
+	// (which ranks share a physical node) and enables the two-level
+	// hierarchical collectives. When nil but Model.Topo is set and
+	// Collectives is CollHier, the hierarchy is derived from the
+	// topology's node map.
+	Hierarchy *Hierarchy
+	// Collectives selects the initial collective dispatch method. The
+	// zero value (CollFlat) runs the classic single-level algorithms;
+	// CollHier turns on the node-leader two-level algorithms
+	// unconditionally, trusting the caller that the layout preserves
+	// bit-identical results (power-of-two node sizes and counts) — use
+	// TuneCollectives to verify and pick automatically instead.
+	Collectives CollMethod
+	// RabenseifnerMinLen overrides the vector length at which Allreduce
+	// switches from recursive doubling to the Rabenseifner algorithm.
+	// 0 consults the CMT_RABENSEIFNER_MINLEN environment variable, then
+	// falls back to the built-in default (4096).
+	RabenseifnerMinLen int
 }
 
 // Comm is the shared state of one communicator: the mailboxes and the
@@ -75,6 +93,18 @@ type Comm struct {
 	periodic [3]bool
 	hasGrid  bool
 	tracer   Tracer
+
+	// Hierarchical-collective state. hier is the node grouping (nil =
+	// no hierarchy known); collMethod is the committed dispatch method
+	// (a CollMethod, atomic because TuneCollectives writes it while
+	// other ranks may be dispatching); rabMinLen is the recursive-
+	// doubling/Rabenseifner switch length; flatFlows is the per-node
+	// concurrent-sender count flat collectives declare to topology
+	// congestion pricing (every rank of a node injects at once).
+	hier       *Hierarchy
+	collMethod atomic.Int32
+	rabMinLen  int
+	flatFlows  int
 
 	// Fault plane state. faults/crc are inherited by shrunken
 	// sub-communicators; dead is per-communicator (one flag per member),
@@ -323,6 +353,33 @@ func newComm(size int, opts Options) (*Comm, error) {
 	c.faults = opts.Faults
 	c.crc = opts.CRC || opts.Faults != nil
 	c.dead = make([]atomic.Bool, size)
+	if topo := model.Topo; topo != nil && topo.Ranks() < size {
+		return nil, fmt.Errorf("comm: topology %s hosts %d ranks, need %d", topo.Name(), topo.Ranks(), size)
+	}
+	c.hier = opts.Hierarchy
+	if c.hier == nil && model.Topo != nil && opts.Collectives == CollHier {
+		h, err := NewHierarchy(model.Topo.NodeMap()[:size])
+		if err != nil {
+			return nil, err
+		}
+		c.hier = h
+	}
+	if c.hier != nil && c.hier.size() != size {
+		return nil, fmt.Errorf("comm: hierarchy maps %d ranks, communicator has %d", c.hier.size(), size)
+	}
+	if opts.Collectives == CollHier {
+		if c.hier == nil {
+			return nil, fmt.Errorf("comm: Collectives=CollHier needs a Hierarchy or a topology model")
+		}
+		c.collMethod.Store(int32(CollHier))
+	}
+	c.rabMinLen = resolveRabMinLen(opts.RabenseifnerMinLen)
+	c.flatFlows = 1
+	if c.hier != nil {
+		c.flatFlows = c.hier.MaxRanksPerNode()
+	} else if model.Topo != nil {
+		c.flatFlows = model.Topo.RanksPerNode()
+	}
 	if opts.Grid != [3]int{} {
 		if opts.Grid[0]*opts.Grid[1]*opts.Grid[2] != size {
 			return nil, fmt.Errorf("comm: grid %v does not tile %d ranks", opts.Grid, size)

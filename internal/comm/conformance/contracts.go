@@ -255,9 +255,72 @@ var Contracts = []Contract{
 		Rank:          propertyCollectives,
 		Seeds:         []int64{1, 2, 3},
 	},
+	{
+		// Hierarchical collectives on a power-of-two block layout are
+		// bit-identical to the flat algorithms: float allreduces match a
+		// local simulation of the flat recursive-doubling combine tree
+		// bitwise, exact ops match serial references, and the
+		// Deterministic flag additionally pins the modeled clocks across
+		// the in-process and TCP backends.
+		Name:          "hier-collectives-vs-flat",
+		Ranks:         8,
+		Deterministic: true,
+		Opts:          hierOpts(8, 4),
+		Rank:          hierCollectivesVsFlat,
+		Seeds:         []int64{1, 4},
+	},
+	{
+		// A node leader dying mid-run fails hierarchical collectives fast
+		// with a typed DeadRankError on every rank — including the dead
+		// leader's node members, who must not deadlock waiting for their
+		// stuck leader — and the shrunken communicator (which drops back
+		// to flat collectives) works.
+		Name:  "hier-leader-death",
+		Ranks: 6,
+		Opts:  hierOpts(6, 3),
+		Rank: func(r *comm.Rank, seed int64) error {
+			// BlockHierarchy(6, 3): nodes {0,1,2} and {3,4,5}, leaders 0
+			// and 3. Rank 3 dies as the leader of node 1.
+			if r.ID() == 3 {
+				r.Kill()
+			}
+			if _, err := r.AllreduceErr(comm.OpSum, []float64{1}); !isDead(err, 3) {
+				return fmt.Errorf("hier collective with dead leader: err = %v, want DeadRankError world 3", err)
+			}
+			if err := r.BarrierErr(); !isDead(err, 3) {
+				return fmt.Errorf("hier barrier with dead leader: err = %v, want DeadRankError world 3", err)
+			}
+			sub, err := r.Shrink([]int{0, 1, 2, 4, 5})
+			if err != nil {
+				return fmt.Errorf("shrink: %v", err)
+			}
+			if sum := sub.Allreduce(comm.OpSum, []float64{1}); sum[0] != 5 {
+				return fmt.Errorf("shrunken allreduce = %v, want 5", sum[0])
+			}
+			return nil
+		},
+		Check: func(m *Merged, seed int64) error {
+			if len(m.Killed) != 1 || m.Killed[0] != 3 {
+				return fmt.Errorf("killed = %v, want [3]", m.Killed)
+			}
+			return nil
+		},
+	},
 }
 
 func gigeOpts() comm.Options { return comm.Options{Model: netmodel.GigE} }
+
+// hierOpts builds options that turn the hierarchical collectives on over
+// a block node map of the given shape, under the GigE model.
+func hierOpts(ranks, perNode int) func() comm.Options {
+	return func() comm.Options {
+		return comm.Options{
+			Model:       netmodel.GigE,
+			Hierarchy:   comm.BlockHierarchy(ranks, perNode),
+			Collectives: comm.CollHier,
+		}
+	}
+}
 
 // rankRNG derives a deterministic stream from (seed, a, b) so any rank
 // can reproduce any other rank's payloads.
@@ -393,6 +456,99 @@ func propertyCollectives(r *comm.Rank, seed int64) error {
 				return fmt.Errorf("trial %d scatter element %d = %v, want %v", trial, j, scattered[j], inputs[id][j])
 			}
 		}
+	}
+	return nil
+}
+
+// serialRD simulates the flat recursive-doubling allreduce combine tree
+// locally for a power-of-two rank count: at each round every rank folds
+// its partner's pre-round buffer into its own, exactly as allreduceRaw
+// does, so the result is the bitwise reference the hierarchical path
+// must reproduce on pow2 block layouts.
+func serialRD(op comm.ReduceOp, inputs [][]float64) []float64 {
+	p := len(inputs)
+	bufs := make([][]float64, p)
+	for i := range bufs {
+		bufs[i] = append([]float64(nil), inputs[i]...)
+	}
+	for mask := 1; mask < p; mask <<= 1 {
+		next := make([][]float64, p)
+		for i := range next {
+			next[i] = append([]float64(nil), bufs[i]...)
+			src := bufs[i^mask]
+			for j := range next[i] {
+				switch op {
+				case comm.OpSum:
+					next[i][j] += src[j]
+				case comm.OpProd:
+					next[i][j] *= src[j]
+				case comm.OpMin:
+					if src[j] < next[i][j] {
+						next[i][j] = src[j]
+					}
+				case comm.OpMax:
+					if src[j] > next[i][j] {
+						next[i][j] = src[j]
+					}
+				}
+			}
+		}
+		bufs = next
+	}
+	return bufs[0]
+}
+
+func hierCollectivesVsFlat(r *comm.Rank, seed int64) error {
+	id, size := r.ID(), r.Size()
+	for _, n := range []int{1, 7, 32} {
+		inputs := make([][]float64, size)
+		for i := range inputs {
+			rng := rankRNG(seed, i, n)
+			inputs[i] = make([]float64, n)
+			for j := range inputs[i] {
+				inputs[i][j] = rng.NormFloat64() // full-mantissa floats
+			}
+		}
+		for _, op := range []comm.ReduceOp{comm.OpSum, comm.OpProd, comm.OpMin, comm.OpMax} {
+			want := serialRD(op, inputs)
+			got := r.Allreduce(op, append([]float64(nil), inputs[id]...))
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					return fmt.Errorf("n=%d op %v element %d: hier %x differs from flat combine tree %x",
+						n, op, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	// Integer reductions: exact under any association, checked against the
+	// plain serial fold.
+	mine := []int64{int64(id) + 1, int64(id * id)}
+	got := r.AllreduceInts(comm.OpSum, append([]int64(nil), mine...))
+	var wantA, wantB int64
+	for i := 0; i < size; i++ {
+		wantA += int64(i) + 1
+		wantB += int64(i * i)
+	}
+	if got[0] != wantA || got[1] != wantB {
+		return fmt.Errorf("int allreduce = %v, want [%d %d]", got, wantA, wantB)
+	}
+	// Broadcast from leader and non-leader roots through the two-level
+	// tree.
+	for _, root := range []int{0, 5} {
+		payload := intPayload(rankRNG(seed, root, 99), 6)
+		var in []float64
+		if id == root {
+			in = append([]float64(nil), payload...)
+		}
+		out := r.Bcast(root, in)
+		for j := range payload {
+			if out[j] != payload[j] {
+				return fmt.Errorf("hier bcast root %d element %d = %v, want %v", root, j, out[j], payload[j])
+			}
+		}
+	}
+	if err := r.BarrierErr(); err != nil {
+		return fmt.Errorf("hier barrier: %v", err)
 	}
 	return nil
 }

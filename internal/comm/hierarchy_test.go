@@ -1,0 +1,320 @@
+package comm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func TestNewHierarchyDenseRenumbering(t *testing.T) {
+	// Sparse labels, interleaved map: ranks 0,2 on node 7; ranks 1,3 on
+	// node 3. Labels must renumber densely by ascending label.
+	h, err := NewHierarchy([]int{7, 3, 7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", h.NumNodes())
+	}
+	if h.NodeOf(1) != 0 || h.NodeOf(0) != 1 {
+		t.Fatalf("dense renumbering wrong: nodeOf = %v", h.nodeOf)
+	}
+	if got := h.Members(0); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("node 0 members %v", got)
+	}
+	if h.Leader(0) != 1 || h.Leader(1) != 0 {
+		t.Fatalf("leaders %v", h.leaders)
+	}
+	if h.MaxRanksPerNode() != 2 {
+		t.Fatalf("MaxRanksPerNode = %d", h.MaxRanksPerNode())
+	}
+	if _, err := NewHierarchy([]int{0, -1}); err == nil {
+		t.Fatal("negative node label accepted")
+	}
+}
+
+func TestBlockHierarchyShapes(t *testing.T) {
+	h := BlockHierarchy(10, 4) // nodes of 4,4,2
+	if h.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", h.NumNodes())
+	}
+	if got := h.Members(2); !reflect.DeepEqual(got, []int{8, 9}) {
+		t.Fatalf("last node %v", got)
+	}
+	if h.Leader(1) != 4 {
+		t.Fatalf("leader of node 1 = %d", h.Leader(1))
+	}
+	if h.MaxRanksPerNode() != 4 {
+		t.Fatalf("MaxRanksPerNode = %d", h.MaxRanksPerNode())
+	}
+}
+
+// runCollect runs fn under the given options and returns rank 0's result.
+func runCollect(t *testing.T, p int, opts Options, fn func(*Rank) []float64) [][]float64 {
+	t.Helper()
+	out := make([][]float64, p)
+	_, err := Run(p, opts, func(r *Rank) error {
+		out[r.ID()] = fn(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Power-of-two block layouts must make every hierarchical collective
+// bit-identical to the flat path — the invariant that lets the solver
+// switch methods without perturbing physics.
+func TestHierBitIdenticalPow2(t *testing.T) {
+	const p, rpn = 16, 4
+	hierOpts := Options{Hierarchy: BlockHierarchy(p, rpn), Collectives: CollHier}
+	for _, op := range []ReduceOp{OpSum, OpProd, OpMin, OpMax} {
+		for _, n := range []int{1, 5, 64} {
+			flat := runCollect(t, p, Options{}, func(r *Rank) []float64 {
+				return r.Allreduce(op, collProbe(r.ID(), n, 0xabc))
+			})
+			hier := runCollect(t, p, hierOpts, func(r *Rank) []float64 {
+				return r.Allreduce(op, collProbe(r.ID(), n, 0xabc))
+			})
+			for id := range flat {
+				for j := range flat[id] {
+					if math.Float64bits(flat[id][j]) != math.Float64bits(hier[id][j]) {
+						t.Fatalf("op=%v n=%d rank=%d slot %d: flat %x hier %x",
+							op, n, id, j, flat[id][j], hier[id][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Every hierarchical collective must produce correct results on any
+// layout, including non-power-of-two nodes (correctness is layout-free;
+// only float bit-identity needs the pow2 shape).
+func TestHierCollectivesCorrectIrregular(t *testing.T) {
+	const p = 11
+	opts := Options{Hierarchy: BlockHierarchy(p, 3), Collectives: CollHier}
+	_, err := Run(p, opts, func(r *Rank) error {
+		id := r.ID()
+		// Allreduce ints: exact under any association.
+		ints := r.AllreduceInts(OpSum, []int64{int64(id), 1})
+		if ints[0] != int64(p*(p-1))/2 || ints[1] != int64(p) {
+			t.Errorf("rank %d: int allreduce got %v", id, ints)
+		}
+		mx := r.Allreduce(OpMax, []float64{float64(id)})
+		if mx[0] != float64(p-1) {
+			t.Errorf("rank %d: max got %v", id, mx[0])
+		}
+		// Bcast from a non-leader root.
+		var in []float64
+		if id == 4 {
+			in = []float64{3.5, -1}
+		}
+		got := r.Bcast(4, in)
+		if !reflect.DeepEqual(got, []float64{3.5, -1}) {
+			t.Errorf("rank %d: bcast got %v", id, got)
+		}
+		var iin []int64
+		if id == 7 {
+			iin = []int64{9, 8}
+		}
+		igot := r.BcastInts(7, iin)
+		if !reflect.DeepEqual(igot, []int64{9, 8}) {
+			t.Errorf("rank %d: bcast ints got %v", id, igot)
+		}
+		// Reduce onto rank 0 (always a node leader).
+		red := r.Reduce(OpSum, 0, []float64{1})
+		if id == 0 && red[0] != float64(p) {
+			t.Errorf("reduce got %v", red)
+		}
+		if id != 0 && red != nil {
+			t.Errorf("rank %d: non-root reduce got %v", id, red)
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TuneCollectives must reject the hierarchical method on layouts that
+// break float bit-identity, and keep the flat dispatch.
+func TestTuneRejectsIrregularLayout(t *testing.T) {
+	const p = 12 // 3 ranks per node: intra tree != flat RD low rounds
+	opts := Options{Hierarchy: BlockHierarchy(p, 3)}
+	_, err := Run(p, opts, func(r *Rank) error {
+		method, _, hierOK := TuneCollectives(r, 1, true)
+		if hierOK {
+			t.Errorf("rank %d: irregular layout passed verification", r.ID())
+		}
+		if method != CollFlat {
+			t.Errorf("rank %d: selected %v", r.ID(), method)
+		}
+		if r.hierOn() {
+			t.Errorf("rank %d: hier dispatch on after rejection", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On a congested fat-tree topology model, the tuner must verify the
+// pow2 hierarchy bit-exact and select it by modeled time.
+func TestTuneSelectsHierOnTopology(t *testing.T) {
+	const p = 64
+	topo, err := netmodel.FatTree(netmodel.FatTreeConfig{
+		RanksPerNode: 8, NodesPerLeaf: 4, Leaves: 2, Oversub: 2,
+		IntraAlpha: 2.5e-7, IntraBeta: 8e-11,
+		LinkAlpha: 6.5e-7, LinkBeta: 3.1e-10,
+		SpineAlpha: 5e-7, SpineBeta: 3.1e-10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netmodel.QDR
+	model.Topo = topo
+	opts := Options{Model: model, Hierarchy: BlockHierarchy(p, 8)}
+	_, err = Run(p, opts, func(r *Rank) error {
+		method, timings, hierOK := TuneCollectives(r, 2, true)
+		if !hierOK {
+			t.Errorf("rank %d: pow2 block layout failed verification", r.ID())
+			return nil
+		}
+		if len(timings) != 2 {
+			t.Errorf("rank %d: %d timings", r.ID(), len(timings))
+			return nil
+		}
+		if method != CollHier {
+			t.Errorf("rank %d: selected %v (flat %.3e hier %.3e)",
+				r.ID(), method, timings[0].ModelMax, timings[1].ModelMax)
+		}
+		if !r.hierOn() {
+			t.Errorf("rank %d: winner not committed", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Auto-derived hierarchy: CollHier with a topology model and no explicit
+// Hierarchy must group ranks by the topology's node map.
+func TestHierAutoDerivedFromTopology(t *testing.T) {
+	topo, err := netmodel.FatTreeCluster(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netmodel.QDR
+	model.Topo = topo
+	_, err = Run(64, Options{Model: model, Collectives: CollHier}, func(r *Rank) error {
+		if r.comm.hier == nil || !r.hierOn() {
+			t.Errorf("rank %d: hierarchy not derived", r.ID())
+			return nil
+		}
+		got := r.AllreduceInts(OpSum, []int64{1})
+		if got[0] != 64 {
+			t.Errorf("rank %d: allreduce got %d", r.ID(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A topology too small for the communicator must be rejected.
+func TestTopologyTooSmallRejected(t *testing.T) {
+	topo, err := netmodel.FatTreeCluster(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netmodel.Loopback
+	model.Topo = topo
+	_, err = Run(32, Options{Model: model}, func(r *Rank) error { return nil })
+	if err == nil {
+		t.Fatal("undersized topology accepted")
+	}
+}
+
+// RabenseifnerMinLen must be tunable via Options and environment, with
+// Options taking precedence.
+func TestRabenseifnerMinLenTunable(t *testing.T) {
+	if got := resolveRabMinLen(0); got != rabenseifnerMinLenDefault {
+		t.Fatalf("default = %d", got)
+	}
+	if got := resolveRabMinLen(512); got != 512 {
+		t.Fatalf("option = %d", got)
+	}
+	t.Setenv("CMT_RABENSEIFNER_MINLEN", "128")
+	if got := resolveRabMinLen(0); got != 128 {
+		t.Fatalf("env = %d", got)
+	}
+	if got := resolveRabMinLen(512); got != 512 {
+		t.Fatalf("option should beat env, got %d", got)
+	}
+	t.Setenv("CMT_RABENSEIFNER_MINLEN", "bogus")
+	if got := resolveRabMinLen(0); got != rabenseifnerMinLenDefault {
+		t.Fatalf("bogus env = %d", got)
+	}
+
+	// End to end: with the switch lowered to 16, a 16-long vector takes
+	// the Rabenseifner path (watch its distinctive tag traffic via the
+	// byte count differing from recursive doubling at p=4: RD sends
+	// 2*16*8 bytes per rank, reduce-scatter+allgather sends 8+4+4+8
+	// floats = 24*8 bytes).
+	_, err := Run(4, Options{RabenseifnerMinLen: 16}, func(r *Rank) error {
+		data := collProbeInts(r.ID(), 16, 0xfeed)
+		want := append([]float64(nil), data...)
+		r2 := append([]float64(nil), data...)
+		r.allreduceRabenseifner(OpSum, want)
+		got := r.Allreduce(OpSum, r2)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("rank %d: dispatch did not take Rabenseifner path (slot %d)", r.ID(), i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shrinking a hierarchical communicator must drop to flat collectives
+// (the survivor set has no guaranteed node layout) and still work.
+func TestShrinkDropsHierarchy(t *testing.T) {
+	const p = 8
+	opts := Options{Hierarchy: BlockHierarchy(p, 4), Collectives: CollHier}
+	_, err := Run(p, opts, func(r *Rank) error {
+		if r.ID() == 5 {
+			r.Kill()
+		}
+		if _, err := r.AllreduceErr(OpSum, []float64{1}); err == nil {
+			t.Errorf("rank %d: allreduce survived member death", r.ID())
+			return nil
+		}
+		sub, err := r.Shrink([]int{0, 1, 2, 3, 4, 6, 7})
+		if err != nil {
+			return err
+		}
+		if sub.hierOn() {
+			t.Errorf("rank %d: shrunken comm still hierarchical", r.ID())
+		}
+		got := sub.AllreduceInts(OpSum, []int64{1})
+		if got[0] != int64(p-1) {
+			t.Errorf("rank %d: shrunken allreduce got %d", r.ID(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,14 @@ type Rank struct {
 	id    int
 	clock *netmodel.Clock
 	prof  *Profile
+
+	// flows is the concurrent-sender count this rank's node declares to
+	// topology congestion pricing for the messages it is about to send:
+	// collStart sets it to the communicator's flatFlows, hierarchical
+	// algorithms overwrite it with 1 (only leaders inject), and
+	// collRegion.done resets it to 0 (point-to-point traffic = lone
+	// flow). Owned by the rank goroutine like every other Rank field.
+	flows int
 }
 
 // ID returns this rank's index in [0, Size).
@@ -72,6 +80,26 @@ func (r *Rank) checkPeer(peer int) {
 	}
 }
 
+// stampSend prices one outgoing message and advances the sender's clock:
+// topology routing (minimal route, per-link congestion, the rank's
+// declared flow concurrency) when the model carries a Topology, the flat
+// alpha-beta model otherwise. It returns the modeled arrival time and
+// the hop count recorded in traces (route links under a topology,
+// grid-Manhattan hops otherwise).
+func (r *Rank) stampSend(dst int, nbytes int64) (arrival float64, hops int) {
+	c := r.comm
+	if topo := c.model.Topo; topo != nil {
+		flows := r.flows
+		if flows < 1 {
+			flows = 1
+		}
+		cost, over, links := topo.PairCost(c.worldIDOf(r.id), c.worldIDOf(dst), int(nbytes), c.model.InjectionFactor, flows)
+		return r.clock.SendStampRoute(cost, over), links
+	}
+	h := c.hops(r.id, dst)
+	return r.clock.SendStamp(int(nbytes), h), h
+}
+
 // deliver copies the payload into a message (eager-buffered send,
 // MPI_Bsend semantics: the caller's buffer is reusable immediately),
 // stamps its modeled arrival time, and drops it into the destination
@@ -100,9 +128,8 @@ func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 		// SendStamp fixes the arrival, so modeled time cannot depend on
 		// whether the receive was posted first.
 		nbytes := 8 * int64(len(data)+len(ints))
-		hops := c.hops(r.id, dst)
 		sendVT := r.clock.Now()
-		arrival := r.clock.SendStamp(int(nbytes), hops)
+		arrival, hops := r.stampSend(dst, nbytes)
 		c.boxes[dst].deliverOrQueue(c, r.id, tag, data, ints, arrival)
 		c.trace(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, hops, sendVT, arrival, r.prof.site)
 		return nbytes
@@ -116,9 +143,8 @@ func (r *Rank) deliver(dst, tag int, data []float64, ints []int64) int64 {
 		m.crc = payloadCRC(m.data, m.ints)
 		m.framed = true
 	}
-	hops := c.hops(r.id, dst)
 	sendVT := r.clock.Now()
-	arrival := r.clock.SendStamp(int(nbytes), hops)
+	arrival, hops := r.stampSend(dst, nbytes)
 	if c.faults != nil {
 		act := c.faults.Message(c.worldIDOf(r.id), c.worldIDOf(dst), tag, nbytes, sendVT)
 		if act != (FaultAction{}) {
@@ -174,9 +200,8 @@ func (r *Rank) deliverRemote(dst, tag int, data []float64, ints []int64) int64 {
 		crc = payloadCRC(data, ints)
 		framed = true
 	}
-	hops := c.hops(r.id, dst)
 	sendVT := r.clock.Now()
-	arrival := r.clock.SendStamp(int(nbytes), hops)
+	arrival, hops := r.stampSend(dst, nbytes)
 	if c.faults != nil {
 		act := c.faults.Message(c.worldIDOf(r.id), dstWorld, tag, nbytes, sendVT)
 		if act != (FaultAction{}) {

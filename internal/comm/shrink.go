@@ -58,6 +58,12 @@ func (r *Rank) Shrink(members []int) (*Rank, error) {
 			root:     c.root,
 			parentOf: append([]int(nil), members...),
 			dead:     make([]atomic.Bool, len(members)),
+			// The node hierarchy does NOT survive a shrink: the survivor
+			// set has no guaranteed layout, so collectives drop back to
+			// the flat algorithms (hier nil, collMethod zero). Algorithm
+			// tunables and the flat congestion declaration carry over.
+			rabMinLen: c.rabMinLen,
+			flatFlows: c.flatFlows,
 		}
 		sub.worldOf = make([]int, len(members))
 		for i, m := range members {

@@ -25,6 +25,9 @@ func (t *Transport) bootstrap() error {
 	if t.cfg.Peers != nil {
 		return t.bootstrapExplicit(deadline)
 	}
+	if t.cfg.BrokerAddr != "" {
+		return t.bootstrapBroker(deadline)
+	}
 	return t.bootstrapRendezvous(deadline)
 }
 

@@ -1,0 +1,245 @@
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rendezvous broker: a standalone TCP service that replaces the shared
+// rendezvous *file* with address exchange over the network, so a run's
+// ranks need no common filesystem — the launcher starts `cmtbroker`
+// once, and every rank is pointed at it with `-rdv tcp://host:port/job`.
+//
+// Protocol: each rank connects, sends a job hello (job name, its rank,
+// the world size, and its mesh listen address), and waits. When all Size
+// ranks of a job have checked in, the broker sends every one of them the
+// completed address table and closes the connections; the ranks then
+// form the usual full mesh directly (lower rank dials higher). The
+// broker connections are bootstrap-only — no application traffic ever
+// crosses the broker, and one broker serves any number of concurrent
+// jobs, keyed by name.
+
+// ParseRendezvous interprets a -rdv argument into cfg: a
+// "tcp://host:port/job" URL selects broker bootstrap (the job component
+// may be empty when the broker serves a single job), anything else is a
+// rendezvous file path.
+func ParseRendezvous(s string, cfg *Config) error {
+	if !strings.HasPrefix(s, "tcp://") {
+		cfg.RendezvousFile = s
+		return nil
+	}
+	rest := strings.TrimPrefix(s, "tcp://")
+	addr, job := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		addr, job = rest[:i], rest[i+1:]
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("tcptransport: rendezvous URL %q: %w", s, err)
+	}
+	cfg.BrokerAddr = addr
+	cfg.Job = job
+	return nil
+}
+
+// brokerJob is one job's partial roster on the broker.
+type brokerJob struct {
+	size  int
+	addrs []string
+	conns []net.Conn // indexed by rank; nil where not yet checked in
+	got   int
+}
+
+// Broker is the rendezvous broker server. Create with NewBroker, run
+// Serve (blocking), stop with Close.
+type Broker struct {
+	ln   net.Listener
+	mu   sync.Mutex
+	jobs map[string]*brokerJob
+	// HelloTimeout bounds how long an accepted connection may take to
+	// deliver its hello (default 30s). A rank then waits on its open
+	// connection, without deadline, for the rest of its job to arrive.
+	HelloTimeout time.Duration
+}
+
+// NewBroker listens on addr (e.g. "127.0.0.1:0") and returns the broker.
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: broker listen %s: %w", addr, err)
+	}
+	return &Broker{ln: ln, jobs: make(map[string]*brokerJob)}, nil
+}
+
+// Addr returns the broker's actual listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Close stops the accept loop and drops every pending connection.
+func (b *Broker) Close() error {
+	err := b.ln.Close()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, j := range b.jobs {
+		for _, c := range j.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	b.jobs = make(map[string]*brokerJob)
+	return err
+}
+
+// Serve accepts rank check-ins until Close. Per-connection errors are
+// contained (the offending connection is dropped); only listener failure
+// ends the loop.
+func (b *Broker) Serve() error {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go b.handle(conn)
+	}
+}
+
+func (b *Broker) handle(conn net.Conn) {
+	hello := 30 * time.Second
+	if b.HelloTimeout > 0 {
+		hello = b.HelloTimeout
+	}
+	typ, body, err := readWireDeadline(conn, time.Now().Add(hello))
+	if err != nil || typ != typJobHello {
+		conn.Close()
+		return
+	}
+	job, rank, size, addr, err := decodeJobHello(body)
+	if err != nil || rank < 0 || rank >= size || size < 1 || addr == "" {
+		conn.Close()
+		return
+	}
+
+	b.mu.Lock()
+	j := b.jobs[job]
+	if j == nil {
+		j = &brokerJob{size: size, addrs: make([]string, size), conns: make([]net.Conn, size)}
+		b.jobs[job] = j
+	}
+	if size != j.size || j.conns[rank] != nil {
+		// Size disagreement or duplicate rank: reject the newcomer, keep
+		// the roster (a retrying rank reconnects after its first
+		// connection died — that slot frees when the write fails).
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	j.addrs[rank] = addr
+	j.conns[rank] = conn
+	j.got++
+	if j.got < j.size {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.jobs, job)
+	b.mu.Unlock()
+
+	table := appendTable(nil, j.addrs)
+	deadline := time.Now().Add(hello)
+	for _, c := range j.conns {
+		_ = writeWireDeadline(c, table, deadline)
+		c.Close()
+	}
+}
+
+// bootstrapBroker forms the mesh through a rendezvous broker: listen on
+// an ephemeral port, check in with the broker, receive the full address
+// table, then connect every pair directly (lower rank dials higher).
+func (t *Transport) bootstrapBroker(deadline time.Time) error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return fmt.Errorf("tcptransport: listen: %w", err)
+	}
+	t.ln = ln
+
+	conn, err := dialRetry(t.cfg.BrokerAddr, deadline)
+	if err != nil {
+		return fmt.Errorf("tcptransport: rank %d dial broker %s: %w", t.cfg.Rank, t.cfg.BrokerAddr, err)
+	}
+	defer conn.Close()
+	hello := appendJobHello(nil, t.cfg.Job, t.cfg.Rank, t.cfg.Size, advertiseAddr(conn, ln))
+	if err := writeWireDeadline(conn, hello, deadline); err != nil {
+		return fmt.Errorf("tcptransport: rank %d hello to broker: %w", t.cfg.Rank, err)
+	}
+	typ, body, err := readWireDeadline(conn, deadline)
+	if err != nil || typ != typTable {
+		return fmt.Errorf("tcptransport: rank %d awaiting broker table: type %d, %v", t.cfg.Rank, typ, err)
+	}
+	addrs, err := decodeTable(body)
+	if err != nil || len(addrs) != t.cfg.Size {
+		return fmt.Errorf("tcptransport: rank %d bad broker table (%d entries): %v", t.cfg.Rank, len(addrs), err)
+	}
+	return t.meshConnect(deadline, addrs, 0)
+}
+
+// advertiseAddr derives the address peers should dial: the IP this host
+// used to reach the broker (loopback stays loopback, a routed interface
+// stays routed) joined with the mesh listener's port.
+func advertiseAddr(brokerConn net.Conn, ln net.Listener) string {
+	port := ln.Addr().(*net.TCPAddr).Port
+	ip := "127.0.0.1"
+	if a, ok := brokerConn.LocalAddr().(*net.TCPAddr); ok && a.IP != nil && !a.IP.IsUnspecified() {
+		ip = a.IP.String()
+	}
+	return net.JoinHostPort(ip, fmt.Sprint(port))
+}
+
+// appendJobHello appends the broker check-in: job name, world rank,
+// world size, and the rank's advertised mesh address.
+func appendJobHello(dst []byte, job string, rank, size int, addr string) []byte {
+	if len(job) > math.MaxUint16 {
+		job = job[:math.MaxUint16]
+	}
+	if len(addr) > math.MaxUint16 {
+		addr = addr[:math.MaxUint16]
+	}
+	b := make([]byte, 0, 12+len(job)+len(addr))
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(rank))
+	b = append(b, u[:]...)
+	binary.LittleEndian.PutUint32(u[:], uint32(size))
+	b = append(b, u[:]...)
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(job)))
+	b = append(b, l[:]...)
+	b = append(b, job...)
+	binary.LittleEndian.PutUint16(l[:], uint16(len(addr)))
+	b = append(b, l[:]...)
+	b = append(b, addr...)
+	return appendWire(dst, typJobHello, b)
+}
+
+// decodeJobHello decodes a broker check-in body.
+func decodeJobHello(body []byte) (job string, rank, size int, addr string, err error) {
+	if len(body) < 12 {
+		return "", 0, 0, "", ErrTruncated
+	}
+	rank = int(int32(binary.LittleEndian.Uint32(body[0:])))
+	size = int(int32(binary.LittleEndian.Uint32(body[4:])))
+	nj := int(binary.LittleEndian.Uint16(body[8:]))
+	off := 10
+	if off+nj+2 > len(body) {
+		return "", 0, 0, "", ErrTruncated
+	}
+	job = string(body[off : off+nj])
+	off += nj
+	na := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if off+na != len(body) {
+		return "", 0, 0, "", ErrBadLength
+	}
+	return job, rank, size, string(body[off:]), nil
+}

@@ -33,6 +33,11 @@ const (
 	typDead  = 3 // a hosted rank died (Rank.Kill); body is the world rank
 	typHello = 4 // bootstrap: dialer identifies its rank (+ mesh address)
 	typTable = 5 // bootstrap: rank 0 broadcasts the address table
+
+	// typJobHello is a rendezvous-broker check-in: job name, world rank,
+	// world size, advertised mesh address (see broker.go). The broker
+	// answers with a typTable once the job's roster is complete.
+	typJobHello = 6
 )
 
 const (

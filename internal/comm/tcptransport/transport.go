@@ -37,6 +37,15 @@ type Config struct {
 	// RendezvousFile, when set, is where rank 0 atomically publishes its
 	// actual listen address and where other ranks poll for it.
 	RendezvousFile string
+	// BrokerAddr, when set, selects broker bootstrap: every rank checks
+	// in with the rendezvous broker (cmd/cmtbroker) at this address and
+	// receives the full address table over the network — no shared
+	// filesystem needed. Usually set by ParseRendezvous from a
+	// "tcp://host:port/job" -rdv argument.
+	BrokerAddr string
+	// Job names this run at the broker, so one broker can rendezvous any
+	// number of concurrent runs. Empty is a valid (single-job) name.
+	Job string
 	// BootstrapTimeout bounds the whole mesh-formation step (dial
 	// retries, hellos, table). Zero means 30s.
 	BootstrapTimeout time.Duration

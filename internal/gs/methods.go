@@ -215,6 +215,14 @@ func (g *GS) exchangeCrystal(op comm.ReduceOp) {
 // paper finds, too expensive for either mini-app at this problem size.
 // The dense vector is persistent handle scratch, identity-reset in place
 // each call.
+//
+// On a hierarchical communicator (comm.CollHier) the Allreduce below
+// rides the two-level node-leader tree automatically: intra-node reduce,
+// leader exchange, intra-node broadcast. No gs-level awareness is
+// needed — the comm layer only enables the hierarchical path on layouts
+// where its combine order is bit-identical to the flat tree (power-of-two
+// node sizes and node count), so exchange results, and therefore tuning
+// decisions, are unchanged. TestHierCommBitIdentical pins this.
 func (g *GS) exchangeAllReduce(op comm.ReduceOp) {
 	g.ensureBigVector()
 	big := g.bigScratch(g.bigLen)

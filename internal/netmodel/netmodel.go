@@ -44,6 +44,13 @@ type Model struct {
 	// where the host CPU drives every byte. Affects how much
 	// communication a rank can overlap.
 	InjectionFactor float64
+	// Topo, when non-nil, replaces the flat Alpha/Beta/SwitchHops
+	// pricing with link-graph topology pricing (see Topology): messages
+	// are priced along their minimal route with distinct intra-node vs
+	// inter-node parameters and deterministic congestion factors. The
+	// flat Alpha/Beta still describe the fabric's headline figures for
+	// reports; InjectionFactor applies unchanged.
+	Topo *Topology
 }
 
 // Cost returns the modeled time to move size bytes over hops switch hops.
@@ -232,6 +239,17 @@ func (c *Clock) Advance(dt float64) {
 func (c *Clock) SendStamp(size, hops int) float64 {
 	arrival := c.now + c.model.Cost(size, hops)
 	overhead := c.model.Alpha + c.model.InjectionFactor*c.model.Beta*float64(size)
+	c.now += overhead
+	c.split().Send += overhead
+	return arrival
+}
+
+// SendStampRoute is SendStamp for a message whose cost and sender-side
+// overhead were already priced externally (topology routing — see
+// Topology.PairCost): it stamps the arrival at now+cost and charges the
+// sender the overhead, with the same phase accounting as SendStamp.
+func (c *Clock) SendStampRoute(cost, overhead float64) float64 {
+	arrival := c.now + cost
 	c.now += overhead
 	c.split().Send += overhead
 	return arrival

@@ -1,0 +1,107 @@
+package netmodel
+
+import "sort"
+
+// Flow is one traced wire message for offline congestion replay.
+type Flow struct {
+	Src, Dst int     // world ranks
+	Bytes    int64   // payload bytes
+	Start    float64 // virtual send time
+}
+
+// LinkLoad is the replayed utilization of one fabric link.
+type LinkLoad struct {
+	Name  string
+	Class LinkClass
+	Flows int
+	Bytes int64
+	// Busy is the total serialized service time the link spent moving
+	// the replayed flows.
+	Busy float64
+	// Queue is the total queueing delay the link imposed — the
+	// congestion signal benchdiff blame lines surface.
+	Queue float64
+}
+
+// Replay is the result of ReplayCongestion.
+type Replay struct {
+	Flows int
+	// Makespan is the completion time of the last flow under per-link
+	// store-and-forward queueing.
+	Makespan float64
+	// QueueTotal is the total queueing delay across all links.
+	QueueTotal float64
+	// Links lists the links that carried traffic, most congested
+	// (largest Queue) first; ties break by name.
+	Links []LinkLoad
+}
+
+// ReplayCongestion replays a traced flow set through per-link queues:
+// flows are processed in deterministic (Start, Src, Dst, Bytes) order,
+// each traversing its minimal route store-and-forward; a link busy with
+// an earlier flow queues the later one. The function is pure — it reads
+// only the topology's static link table — so the same flow set always
+// yields the same replay, and replaying a superset of flows never
+// decreases any completion time. Intra-node flows are priced by the
+// intra-node parameters and touch no links.
+func (t *Topology) ReplayCongestion(flows []Flow) Replay {
+	ordered := append([]Flow(nil), flows...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Bytes < b.Bytes
+	})
+
+	busy := make([]float64, len(t.links))
+	loads := make([]LinkLoad, len(t.links))
+	rep := Replay{Flows: len(ordered)}
+	var route [8]int
+	for _, f := range ordered {
+		now := f.Start
+		if t.NodeOf(f.Src) == t.NodeOf(f.Dst) {
+			now += t.IntraAlpha + t.IntraBeta*float64(f.Bytes)
+		} else {
+			for _, id := range t.Route(f.Src, f.Dst, route[:0]) {
+				l := &t.links[id]
+				service := l.Alpha + l.Beta*float64(f.Bytes)/l.Width
+				queue := busy[id] - now
+				if queue > 0 {
+					now = busy[id]
+					loads[id].Queue += queue
+					rep.QueueTotal += queue
+				}
+				now += service
+				busy[id] = now
+				loads[id].Flows++
+				loads[id].Bytes += f.Bytes
+				loads[id].Busy += service
+			}
+		}
+		if now > rep.Makespan {
+			rep.Makespan = now
+		}
+	}
+	for id, ld := range loads {
+		if ld.Flows == 0 {
+			continue
+		}
+		ld.Name = t.links[id].Name
+		ld.Class = t.links[id].Class
+		rep.Links = append(rep.Links, ld)
+	}
+	sort.Slice(rep.Links, func(i, j int) bool {
+		if rep.Links[i].Queue != rep.Links[j].Queue {
+			return rep.Links[i].Queue > rep.Links[j].Queue
+		}
+		return rep.Links[i].Name < rep.Links[j].Name
+	})
+	return rep
+}

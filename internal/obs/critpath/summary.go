@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/netmodel"
+	"repro/internal/obs"
 )
 
 // CellSplit is one (rank, phase) attribution row in serializable form.
@@ -37,6 +40,17 @@ type RankSlack struct {
 	Slack float64 `json:"slack"`
 }
 
+// LinkHot is one fabric link of a congestion replay in serializable
+// form: how much traffic it carried and how long flows queued behind it.
+type LinkHot struct {
+	Name  string  `json:"name"`
+	Class string  `json:"class"`
+	Flows int     `json:"flows"`
+	Bytes int64   `json:"bytes"`
+	Busy  float64 `json:"busy"`
+	Queue float64 `json:"queue"`
+}
+
 // Summary is the JSON-stable digest of an Analysis: everything benchdiff
 // needs to compare two runs and blame a regression, without the full
 // segment chain.
@@ -47,6 +61,39 @@ type Summary struct {
 	Cells    []CellSplit `json:"cells"`
 	Edges    []EdgeGroup `json:"edges,omitempty"`
 	Slack    []RankSlack `json:"slack,omitempty"`
+	// ReplayQueue and CongestedLinks are present when the run's wire
+	// flows were replayed through a modeled fabric topology
+	// (netmodel.Topology.ReplayCongestion): the total queueing delay and
+	// the most-queued links, worst first.
+	ReplayQueue    float64   `json:"replay_queue,omitempty"`
+	CongestedLinks []LinkHot `json:"congested_links,omitempty"`
+}
+
+// AttachCongestion folds a fabric congestion replay into the summary:
+// the total queueing delay plus the topK most-queued links (the replay
+// orders them worst-first already).
+func (s *Summary) AttachCongestion(r netmodel.Replay, topK int) {
+	s.ReplayQueue = r.QueueTotal
+	s.CongestedLinks = s.CongestedLinks[:0]
+	for i, l := range r.Links {
+		if topK > 0 && i >= topK {
+			break
+		}
+		s.CongestedLinks = append(s.CongestedLinks, LinkHot{
+			Name: l.Name, Class: l.Class.String(),
+			Flows: l.Flows, Bytes: l.Bytes, Busy: l.Busy, Queue: l.Queue,
+		})
+	}
+}
+
+// WireFlows converts traced wire messages into the flow records a
+// topology congestion replay consumes.
+func WireFlows(flows []obs.Flow) []netmodel.Flow {
+	out := make([]netmodel.Flow, len(flows))
+	for i, f := range flows {
+		out[i] = netmodel.Flow{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, Start: f.SendVT}
+	}
+	return out
 }
 
 // Summary digests the analysis: cells sorted by (rank, phase), edges
@@ -196,6 +243,17 @@ func (s Summary) Format(topK int) string {
 				e.Src, e.Dst, e.Phase, site, secs(e.Wait), e.Count, e.Bytes)
 		}
 	}
+	if len(s.CongestedLinks) > 0 {
+		fmt.Fprintf(&b, "\nmost congested fabric links (replayed; total queueing %s):\n", secs(s.ReplayQueue))
+		links := s.CongestedLinks
+		if topK > 0 && topK < len(links) {
+			links = links[:topK]
+		}
+		for _, l := range links {
+			fmt.Fprintf(&b, "  %-24s %-6s queue %8s  busy %8s  %5d flows  %d B\n",
+				l.Name, l.Class, secs(l.Queue), secs(l.Busy), l.Flows, l.Bytes)
+		}
+	}
 	return b.String()
 }
 
@@ -268,6 +326,26 @@ func Blame(base, cur Summary, k int) []BlameLine {
 	acc(base, -1)
 	acc(cur, +1)
 	var lines []BlameLine
+	// A link whose replayed queueing grew is a congestion cause in its
+	// own right — surface it alongside the (rank, phase) buckets.
+	baseQueue := make(map[string]float64, len(base.CongestedLinks))
+	for _, l := range base.CongestedLinks {
+		baseQueue[l.Name] = l.Queue
+	}
+	for _, l := range cur.CongestedLinks {
+		d := l.Queue - baseQueue[l.Name]
+		if d <= 0 {
+			continue
+		}
+		var txt string
+		if bv := baseQueue[l.Name]; bv > 0 {
+			txt = fmt.Sprintf("queueing on link %s (%s) grew %.1f%% (+%s)",
+				l.Name, l.Class, 100*d/bv, secs(d))
+		} else {
+			txt = fmt.Sprintf("queueing on link %s (%s) appeared (+%s)", l.Name, l.Class, secs(d))
+		}
+		lines = append(lines, BlameLine{Text: txt, Growth: d})
+	}
 	for b, d := range delta {
 		if d <= 0 {
 			continue

@@ -9,8 +9,12 @@
 # the file and dial in (so no ports need reserving up front). Waits for
 # every process and exits nonzero if any rank failed.
 #
+# Set MPIRUN_RDV to override the rendezvous — e.g. a cmtbroker URL
+# (tcp://host:port/job) for runs with no shared filesystem.
+#
 #   scripts/mpirun_tcp.sh 4 ./bin/cmtbone -np 4 -steps 2
 #   scripts/mpirun_tcp.sh 4 ./bin/scalebench -smoke -smoke-json b.json
+#   MPIRUN_RDV=tcp://127.0.0.1:9333/job1 scripts/mpirun_tcp.sh 4 ./bin/cmtbone -np 4
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -27,13 +31,18 @@ if [ "$np" -lt 1 ]; then
     exit 2
 fi
 
-rdv=$(mktemp -u "${TMPDIR:-/tmp}/mpirun_tcp.XXXXXX")
+rdv=${MPIRUN_RDV:-}
+rdv_file=""
+if [ -z "$rdv" ]; then
+    rdv=$(mktemp -u "${TMPDIR:-/tmp}/mpirun_tcp.XXXXXX")
+    rdv_file=$rdv
+fi
 pids=()
 cleanup() {
     for pid in "${pids[@]}"; do
         kill "$pid" 2>/dev/null || true
     done
-    rm -f "$rdv"
+    if [ -n "$rdv_file" ]; then rm -f "$rdv_file"; fi
 }
 trap cleanup EXIT INT TERM
 

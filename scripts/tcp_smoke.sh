@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
 # tcp_smoke.sh — end-to-end check that the TCP transport reproduces the
 # in-process backend exactly: run the canonical scalebench smoke scenario
-# once in a single process and once as 4 OS processes over localhost TCP,
-# then require the two diagnostics files (physics scalars, per-rank
-# virtual clocks, and the collectively-computed makespan) to be
-# byte-identical.
+# once in a single process, once as 4 OS processes over localhost TCP
+# with file rendezvous, and once as 4 processes discovering each other
+# through a cmtbroker, then require all three diagnostics files (physics
+# scalars, per-rank virtual clocks, and the collectively-computed
+# makespan) to be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/tcp_smoke.XXXXXX")
-trap 'rm -rf "$workdir"' EXIT
+broker_pid=""
+cleanup() {
+    if [ -n "$broker_pid" ]; then kill "$broker_pid" 2>/dev/null || true; fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 go build -o "$workdir/scalebench" ./cmd/scalebench
+go build -o "$workdir/cmtbroker" ./cmd/cmtbroker
 
 echo "== in-process run =="
 "$workdir/scalebench" -smoke -smoke-json "$workdir/inproc.json"
 
-echo "== 4-process TCP run =="
+echo "== 4-process TCP run (file rendezvous) =="
 scripts/mpirun_tcp.sh 4 "$workdir/scalebench" -smoke -smoke-json "$workdir/tcp.json"
 
 if ! cmp "$workdir/inproc.json" "$workdir/tcp.json"; then
@@ -24,4 +31,25 @@ if ! cmp "$workdir/inproc.json" "$workdir/tcp.json"; then
     diff "$workdir/inproc.json" "$workdir/tcp.json" >&2 || true
     exit 1
 fi
-echo "tcp_smoke: OK — in-process and 4-process TCP diagnostics are byte-identical"
+
+echo "== 4-process TCP run (cmtbroker rendezvous) =="
+"$workdir/cmtbroker" -listen 127.0.0.1:0 > "$workdir/broker.out" &
+broker_pid=$!
+addr=""
+for _ in $(seq 100); do
+    addr=$(sed -n 's/^cmtbroker listening on //p' "$workdir/broker.out")
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "tcp_smoke: FAIL — cmtbroker did not come up" >&2
+    exit 1
+fi
+MPIRUN_RDV="tcp://$addr/smoke" scripts/mpirun_tcp.sh 4 "$workdir/scalebench" -smoke -smoke-json "$workdir/broker.json"
+
+if ! cmp "$workdir/inproc.json" "$workdir/broker.json"; then
+    echo "tcp_smoke: FAIL — diagnostics differ under broker rendezvous:" >&2
+    diff "$workdir/inproc.json" "$workdir/broker.json" >&2 || true
+    exit 1
+fi
+echo "tcp_smoke: OK — in-process, file-rendezvous, and broker-rendezvous diagnostics are byte-identical"
